@@ -1,0 +1,139 @@
+// Perverted scheduling (paper §"Perverted Scheduling: Testing and Debugging"):
+//   1. overhead table — throughput of a lock-heavy workload under each policy
+//   2. detection table — how many seeds expose a seeded ordering bug under each policy,
+//      versus FIFO which (per the paper) hides it completely.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/core/pthread.hpp"
+#include "src/util/dual_loop_timer.hpp"
+
+namespace fsup {
+namespace {
+
+const char* PolicyName(PervertedPolicy p) {
+  switch (p) {
+    case PervertedPolicy::kNone:
+      return "FIFO (none)";
+    case PervertedPolicy::kMutexSwitch:
+      return "mutex switch";
+    case PervertedPolicy::kRrOrdered:
+      return "RR-ordered switch";
+    case PervertedPolicy::kRandom:
+      return "random switch";
+  }
+  return "?";
+}
+
+// The seeded bug: a read-modify-write whose window straddles a library call.
+struct Racy {
+  pt_mutex_t step;
+  long shared = 0;
+};
+
+void* RacyBody(void* rp) {
+  auto* r = static_cast<Racy*>(rp);
+  for (int i = 0; i < 50; ++i) {
+    const long copy = r->shared;
+    pt_mutex_lock(&r->step);
+    pt_mutex_unlock(&r->step);
+    r->shared = copy + 1;
+  }
+  return nullptr;
+}
+
+// Returns true if the bug manifested (final count short).
+bool BugDetected(PervertedPolicy policy, uint64_t seed) {
+  static Racy r;
+  new (&r) Racy();
+  pt_mutex_init(&r.step);
+  pt_set_perverted(policy, seed);
+  constexpr int kThreads = 4;
+  pt_thread_t ts[kThreads];
+  for (auto& t : ts) {
+    pt_create(&t, nullptr, &RacyBody, &r);
+  }
+  for (auto& t : ts) {
+    pt_join(t, nullptr);
+  }
+  pt_set_perverted(PervertedPolicy::kNone, 0);
+  pt_mutex_destroy(&r.step);
+  return r.shared != kThreads * 50L;
+}
+
+// Throughput of a correctly locked workload under each policy (overhead measurement).
+double WorkloadNsPerOp(PervertedPolicy policy) {
+  struct Work {
+    pt_mutex_t m;
+    long count = 0;
+  };
+  static Work w;
+  new (&w) Work();
+  pt_mutex_init(&w.m);
+  pt_set_perverted(policy, 1);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 4000;
+  auto body = +[](void*) -> void* {
+    for (int i = 0; i < kIters; ++i) {
+      pt_mutex_lock(&w.m);
+      ++w.count;
+      pt_mutex_unlock(&w.m);
+    }
+    return nullptr;
+  };
+  pt_thread_t ts[kThreads];
+  const int64_t start = NowNs();
+  for (auto& t : ts) {
+    pt_create(&t, nullptr, body, nullptr);
+  }
+  for (auto& t : ts) {
+    pt_join(t, nullptr);
+  }
+  const double ns = static_cast<double>(NowNs() - start) / (kThreads * kIters);
+  pt_set_perverted(PervertedPolicy::kNone, 0);
+  pt_mutex_destroy(&w.m);
+  return ns;
+}
+
+}  // namespace
+}  // namespace fsup
+
+int main() {
+  using namespace fsup;
+  pt_init();
+
+  const PervertedPolicy policies[] = {PervertedPolicy::kNone, PervertedPolicy::kMutexSwitch,
+                                      PervertedPolicy::kRrOrdered, PervertedPolicy::kRandom};
+
+  std::printf("Perverted scheduling — overhead on a correctly locked workload\n\n");
+  std::printf("  %-20s %14s %16s\n", "policy", "ns/lock-op", "forced switches");
+  const double base = WorkloadNsPerOp(PervertedPolicy::kNone);
+  for (PervertedPolicy p : policies) {
+    const uint64_t forced_before = pt_stats().forced_switches;
+    const double ns = WorkloadNsPerOp(p);
+    const uint64_t forced = pt_stats().forced_switches - forced_before;
+    std::printf("  %-20s %14.1f %16llu   (%.1fx FIFO)\n", PolicyName(p), ns,
+                static_cast<unsigned long long>(forced), ns / base);
+  }
+
+  std::printf("\nDetection rate of a seeded ordering bug (20 seeds per policy)\n");
+  std::printf("the bug: read-modify-write whose window straddles a mutex call — invisible\n");
+  std::printf("under FIFO, exactly the class the paper built perverted scheduling for\n\n");
+  std::printf("  %-20s %10s\n", "policy", "detected");
+  for (PervertedPolicy p : policies) {
+    int detected = 0;
+    for (uint64_t seed = 1; seed <= 20; ++seed) {
+      if (BugDetected(p, seed)) {
+        ++detected;
+      }
+    }
+    std::printf("  %-20s %7d/20\n", PolicyName(p), detected);
+  }
+
+  std::printf("\nShape checks (paper):\n");
+  std::printf("  * FIFO detects 0/20 — serial execution hides the parallel error\n");
+  std::printf("  * every perverted policy detects the bug; random varies by seed\n");
+  std::printf("  * determinism: same seed, same interleaving (see perverted_test)\n");
+  return 0;
+}

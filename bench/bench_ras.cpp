@@ -1,0 +1,106 @@
+// Figure 4 ablation: the three ways to lock a mutex and record its owner —
+//
+//   RAS      — plain load/test/store made atomic by handler-driven restart (the paper's
+//              choice, 7 SPARC instructions)
+//   xchg     — hardware test-and-set (ldstub analogue) + separate owner store (the owner
+//              record is NOT atomic with the lock, the problem the RAS solves)
+//   cmpxchg  — the compare-and-swap the paper argues every ISA should provide: one
+//              instruction acquires the lock AND records the owner in the lock word
+//
+// The paper predicts test-and-set ≈ restartable sequence on a uniprocessor, and CAS only a
+// couple of cycles more. Also measured: RAS restart frequency under a timer storm.
+
+#include <csignal>
+#include <cstdio>
+
+#include "src/arch/ras.hpp"
+#include "src/core/bench_probes.hpp"
+#include "src/core/pthread.hpp"
+#include "src/util/dual_loop_timer.hpp"
+
+namespace fsup {
+namespace {
+
+volatile uint8_t g_lock = 0;
+void* volatile g_owner = nullptr;
+void* volatile g_cas_word = nullptr;
+int g_self_marker = 0;
+
+double MeasureRas() {
+  DualLoopTimer t(2'000'000, 5);
+  return t.MeasureNs([] {
+    fsup_ras_lock(&g_lock, &g_self_marker, &g_owner);
+    g_lock = 0;  // uncontended release for the next iteration
+  });
+}
+
+double MeasureXchg() {
+  DualLoopTimer t(2'000'000, 5);
+  return t.MeasureNs([] {
+    if (fsup_xchg_lock(&g_lock) == 0) {
+      g_owner = &g_self_marker;  // separate, non-atomic owner record
+    }
+    g_lock = 0;
+  });
+}
+
+double MeasureCas() {
+  DualLoopTimer t(2'000'000, 5);
+  return t.MeasureNs([] {
+    fsup_cas_lock(&g_cas_word, &g_self_marker);
+    g_cas_word = nullptr;
+  });
+}
+
+volatile sig_atomic_t g_alarms = 0;
+void AlarmHandler(int) {
+  g_alarms = g_alarms + 1;
+  pt_alarm(50 * 1000);  // re-arm: a free-running ~20kHz interrupt source
+}
+
+}  // namespace
+}  // namespace fsup
+
+int main() {
+  using namespace fsup;
+  pt_init();
+
+  std::printf("Figure 4 ablation — atomic lock + owner record, per-acquire cost [ns]\n\n");
+  const double ras = MeasureRas();
+  const double xchg = MeasureXchg();
+  const double cas = MeasureCas();
+  std::printf("  %-44s %8.2f\n", "restartable atomic sequence (paper's choice)", ras);
+  std::printf("  %-44s %8.2f\n", "test-and-set (xchg) + separate owner store", xchg);
+  std::printf("  %-44s %8.2f\n", "compare-and-swap (owner IS the lock word)", cas);
+
+  std::printf("\nShape checks (paper):\n");
+  std::printf("  * on a uniprocessor the RAS is competitive with the hardware test-and-set\n");
+  std::printf("  * compare-and-swap costs only slightly more and removes the RAS handler\n");
+  std::printf("    overhead entirely — the paper's argument for providing it in every ISA\n");
+
+  // RAS restarts under a timer storm: a self-re-arming alarm fires every ~50us while the
+  // main thread does nothing but execute the lock sequence back to back, so a sizable
+  // fraction of interrupts land inside the registered instruction range and must rewind.
+  pt_sigaction(SIGALRM, &AlarmHandler, 0);
+  const uint64_t restarts_before = probe::RasRestarts();
+  g_alarms = 0;
+  pt_alarm(50 * 1000);
+  long acquires = 0;
+  const int64_t until = NowNs() + 500 * 1000 * 1000;
+  while (NowNs() < until) {
+    for (int i = 0; i < 512; ++i) {
+      fsup_ras_lock(&g_lock, &g_self_marker, &g_owner);
+      g_lock = 0;
+      ++acquires;
+    }
+  }
+  pt_alarm(0);
+  pt_sigaction(SIGALRM, nullptr, 0);
+  const uint64_t restarts = probe::RasRestarts() - restarts_before;
+  std::printf("\nRAS restart telemetry under a timer storm:\n");
+  std::printf("  acquires: %ld, alarms delivered: %d, sequence restarts: %llu\n", acquires,
+              static_cast<int>(g_alarms), static_cast<unsigned long long>(restarts));
+  std::printf("  (restarts > 0 would show the handler rewind in action; at these sequence\n");
+  std::printf("   lengths the interrupt has to land inside a ~4-instruction window)\n");
+  return 0;
+}

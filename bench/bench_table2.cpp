@@ -1,0 +1,243 @@
+// Table 2 metrics as google-benchmark micro-benchmarks (statistical complement to
+// table2_report, which prints the paper-style table via dual-loop timing).
+
+#include <benchmark/benchmark.h>
+#include <pthread.h>
+#include <semaphore.h>
+
+#include <csetjmp>
+#include <csignal>
+
+#include "src/core/attr.hpp"
+#include "src/core/bench_probes.hpp"
+#include "src/core/cinterface.h"
+#include "src/core/pthread.hpp"
+#include "src/cancel/cleanup.hpp"
+
+namespace fsup {
+namespace {
+
+void BM_KernelEnterExit(benchmark::State& state) {
+  pt_init();
+  for (auto _ : state) {
+    probe::KernelEnterExit();
+  }
+}
+BENCHMARK(BM_KernelEnterExit);
+
+void BM_UnixKernelEnterExit(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(probe::UnixKernelEnterExit());
+  }
+}
+BENCHMARK(BM_UnixKernelEnterExit);
+
+void BM_MutexLockUnlock(benchmark::State& state) {
+  pt_mutex_t m;
+  pt_mutex_init(&m);
+  for (auto _ : state) {
+    pt_mutex_lock(&m);
+    pt_mutex_unlock(&m);
+  }
+  pt_mutex_destroy(&m);
+}
+BENCHMARK(BM_MutexLockUnlock);
+
+void BM_MutexLockUnlockNative(benchmark::State& state) {
+  pthread_mutex_t m = PTHREAD_MUTEX_INITIALIZER;
+  for (auto _ : state) {
+    pthread_mutex_lock(&m);
+    pthread_mutex_unlock(&m);
+  }
+}
+BENCHMARK(BM_MutexLockUnlockNative);
+
+void BM_MutexTrylock(benchmark::State& state) {
+  pt_mutex_t m;
+  pt_mutex_init(&m);
+  for (auto _ : state) {
+    pt_mutex_trylock(&m);
+    pt_mutex_unlock(&m);
+  }
+  pt_mutex_destroy(&m);
+}
+BENCHMARK(BM_MutexTrylock);
+
+// Protocol mutexes always take the kernel path — the paper's complaint about attribute
+// checks made measurable (compare with BM_MutexLockUnlock).
+void BM_MutexLockUnlockInherit(benchmark::State& state) {
+  pt_mutex_t m;
+  const MutexAttr a = MakeInheritMutexAttr();
+  pt_mutex_init(&m, &a);
+  for (auto _ : state) {
+    pt_mutex_lock(&m);
+    pt_mutex_unlock(&m);
+  }
+  pt_mutex_destroy(&m);
+}
+BENCHMARK(BM_MutexLockUnlockInherit);
+
+void BM_MutexLockUnlockCeiling(benchmark::State& state) {
+  pt_mutex_t m;
+  const MutexAttr a = MakeCeilingMutexAttr(kMaxPrio);
+  pt_mutex_init(&m, &a);
+  for (auto _ : state) {
+    pt_mutex_lock(&m);
+    pt_mutex_unlock(&m);
+  }
+  pt_mutex_destroy(&m);
+}
+BENCHMARK(BM_MutexLockUnlockCeiling);
+
+void BM_Semaphore(benchmark::State& state) {
+  pt_sem_t s;
+  pt_sem_init(&s, 1);
+  for (auto _ : state) {
+    pt_sem_wait(&s);
+    pt_sem_post(&s);
+  }
+  pt_sem_destroy(&s);
+}
+BENCHMARK(BM_Semaphore);
+
+void BM_SemaphoreNative(benchmark::State& state) {
+  sem_t s;
+  sem_init(&s, 0, 1);
+  for (auto _ : state) {
+    sem_wait(&s);
+    sem_post(&s);
+  }
+  sem_destroy(&s);
+}
+BENCHMARK(BM_SemaphoreNative);
+
+void* Nop(void*) { return nullptr; }
+
+void BM_ThreadCreateJoin(benchmark::State& state) {
+  pt_init();
+  for (auto _ : state) {
+    pt_thread_t t;
+    pt_create(&t, nullptr, &Nop, nullptr);
+    pt_join(t, nullptr);
+  }
+}
+BENCHMARK(BM_ThreadCreateJoin);
+
+void BM_ThreadCreateJoinNative(benchmark::State& state) {
+  for (auto _ : state) {
+    pthread_t t;
+    pthread_create(&t, nullptr, &Nop, nullptr);
+    pthread_join(t, nullptr);
+  }
+}
+BENCHMARK(BM_ThreadCreateJoinNative);
+
+void BM_SetjmpLongjmp(benchmark::State& state) {
+  for (auto _ : state) {
+    jmp_buf env;
+    if (setjmp(env) == 0) {
+      longjmp(env, 1);
+    }
+  }
+}
+BENCHMARK(BM_SetjmpLongjmp);
+
+void* YieldForever(void* stop_p) {
+  auto* stop = static_cast<volatile bool*>(stop_p);
+  while (!*stop) {
+    pt_yield();
+  }
+  return nullptr;
+}
+
+void BM_ThreadYieldSwitch(benchmark::State& state) {
+  pt_init();
+  static volatile bool stop;
+  stop = false;
+  pt_thread_t partner;
+  pt_create(&partner, nullptr, &YieldForever, const_cast<bool*>(&stop));
+  for (auto _ : state) {
+    pt_yield();  // one switch out + the partner switches back = 2 switches / 2 yields
+  }
+  stop = true;
+  pt_yield();
+  pt_join(partner, nullptr);
+}
+BENCHMARK(BM_ThreadYieldSwitch);
+
+volatile sig_atomic_t g_hits = 0;
+void Handler(int) { g_hits = g_hits + 1; }
+
+void BM_SignalInternal(benchmark::State& state) {
+  pt_init();
+  pt_sigaction(SIGUSR1, &Handler, 0);
+  for (auto _ : state) {
+    pt_kill(pt_self(), SIGUSR1);
+  }
+  pt_sigaction(SIGUSR1, nullptr, 0);
+}
+BENCHMARK(BM_SignalInternal);
+
+void BM_SignalExternal(benchmark::State& state) {
+  pt_init();
+  pt_sigaction(SIGUSR1, &Handler, 0);
+  const pid_t self = ::getpid();
+  for (auto _ : state) {
+    ::kill(self, SIGUSR1);
+  }
+  pt_sigaction(SIGUSR1, nullptr, 0);
+}
+BENCHMARK(BM_SignalExternal);
+
+void BM_SigmaskChange(benchmark::State& state) {
+  pt_init();
+  for (auto _ : state) {
+    pt_sigmask(SigMaskHow::kBlock, SigBit(SIGUSR2), nullptr);
+    pt_sigmask(SigMaskHow::kUnblock, SigBit(SIGUSR2), nullptr);
+  }
+}
+BENCHMARK(BM_SigmaskChange);
+
+// The paper's language-independence tradeoffs, measured: the C-ABI layer adds one call
+// frame over the native C++ entry points...
+void BM_MutexLockUnlockViaCInterface(benchmark::State& state) {
+  fsup_init();
+  fsup_mutex_t m;
+  fsup_mutex_create(&m, FSUP_PROTO_NONE, 0);
+  for (auto _ : state) {
+    fsup_mutex_lock(m);
+    fsup_mutex_unlock(m);
+  }
+  fsup_mutex_free(m);
+}
+BENCHMARK(BM_MutexLockUnlockViaCInterface);
+
+// ...and cleanup handlers are real functions, not the standard's macro pair ("this trades
+// the overhead of function calls otherwise not needed by C applications for the generality
+// and language-independence of the interface") — this row is that traded overhead.
+void BM_CleanupPushPop(benchmark::State& state) {
+  pt_init();
+  for (auto _ : state) {
+    pt_cleanup_push(+[](void*) {}, nullptr);
+    pt_cleanup_pop(false);
+  }
+}
+BENCHMARK(BM_CleanupPushPop);
+
+void BM_TsdGetSet(benchmark::State& state) {
+  pt_init();
+  pt_key_t key;
+  pt_key_create(&key, nullptr);
+  int v = 0;
+  for (auto _ : state) {
+    pt_setspecific(key, &v);
+    benchmark::DoNotOptimize(pt_getspecific(key));
+  }
+  pt_key_delete(key);
+}
+BENCHMARK(BM_TsdGetSet);
+
+}  // namespace
+}  // namespace fsup
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// Debugging with perverted scheduling — the paper's workflow, end to end:
+//
+//   1. a program with a latent ordering bug passes its "test" under normal FIFO scheduling;
+//   2. the same binary run under each perverted policy makes the bug manifest;
+//   3. with the random-switch policy, the failing seed is reported — re-running with that
+//      seed reproduces the exact interleaving ("a simple but powerful way to influence the
+//      ordering of threads"), which is what makes the bug debuggable;
+//   4. the fixed program passes under every policy.
+
+#include <cstdio>
+#include <initializer_list>
+
+#include "src/core/pthread.hpp"
+
+namespace {
+
+using namespace fsup;
+
+constexpr int kThreads = 4;
+constexpr int kIters = 40;
+
+// The buggy bank: Transfer reads both balances, "validates" under a lock, then writes the
+// new balances from the stale reads. A context switch between read and write loses money.
+struct Bank {
+  pt_mutex_t audit_lock;
+  long account_a = 1000 * kThreads;
+  long account_b = 0;
+  bool fixed;
+};
+
+void* Teller(void* bp) {
+  auto* bank = static_cast<Bank*>(bp);
+  for (int i = 0; i < kIters; ++i) {
+    if (bank->fixed) {
+      pt_mutex_lock(&bank->audit_lock);
+      bank->account_a -= 1;
+      bank->account_b += 1;
+      pt_mutex_unlock(&bank->audit_lock);
+    } else {
+      const long a = bank->account_a;  // stale reads...
+      const long b = bank->account_b;
+      pt_mutex_lock(&bank->audit_lock);  // "audit" — and a forced-switch point
+      pt_mutex_unlock(&bank->audit_lock);
+      bank->account_a = a - 1;  // ...written back after the switch window
+      bank->account_b = b + 1;
+    }
+  }
+  return nullptr;
+}
+
+// Returns the number of lost transfers (0 = every transfer landed).
+long RunBank(bool fixed, PervertedPolicy policy, uint64_t seed) {
+  Bank bank;
+  bank.fixed = fixed;
+  pt_mutex_init(&bank.audit_lock);
+  pt_set_perverted(policy, seed);
+  pt_thread_t ts[kThreads];
+  for (auto& t : ts) {
+    pt_create(&t, nullptr, &Teller, &bank);
+  }
+  for (auto& t : ts) {
+    pt_join(t, nullptr);
+  }
+  pt_set_perverted(PervertedPolicy::kNone, 0);
+  pt_mutex_destroy(&bank.audit_lock);
+  return static_cast<long>(kThreads) * kIters - bank.account_b;
+}
+
+const char* Name(PervertedPolicy p) {
+  switch (p) {
+    case PervertedPolicy::kNone:
+      return "FIFO";
+    case PervertedPolicy::kMutexSwitch:
+      return "mutex-switch";
+    case PervertedPolicy::kRrOrdered:
+      return "rr-ordered";
+    case PervertedPolicy::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  pt_init();
+  std::printf("Perverted-scheduling debugging session (paper workflow)\n\n");
+
+  std::printf("step 1: the buggy program under normal FIFO scheduling\n");
+  std::printf("  transfers lost: %ld  -> test PASSES, bug invisible\n\n",
+              RunBank(false, PervertedPolicy::kNone, 0));
+
+  std::printf("step 2: same binary under perverted policies\n");
+  for (PervertedPolicy p :
+       {PervertedPolicy::kMutexSwitch, PervertedPolicy::kRrOrdered}) {
+    std::printf("  %-14s transfers lost: %ld\n", Name(p), RunBank(false, p, 0));
+  }
+
+  std::printf("\nstep 3: random-switch across seeds; first failing seed is reproducible\n");
+  uint64_t failing_seed = 0;
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    if (RunBank(false, PervertedPolicy::kRandom, seed) != 0) {
+      failing_seed = seed;
+      break;
+    }
+  }
+  if (failing_seed != 0) {
+    const long l1 = RunBank(false, PervertedPolicy::kRandom, failing_seed);
+    const long l2 = RunBank(false, PervertedPolicy::kRandom, failing_seed);
+    std::printf("  seed %llu loses %ld transfers; same seed re-run loses %ld (deterministic)\n",
+                static_cast<unsigned long long>(failing_seed), l1, l2);
+  } else {
+    std::printf("  no failing seed in 16 tries (unusual)\n");
+  }
+
+  std::printf("\nstep 4: the FIXED program under every policy\n");
+  bool all_clean = true;
+  for (PervertedPolicy p : {PervertedPolicy::kNone, PervertedPolicy::kMutexSwitch,
+                            PervertedPolicy::kRrOrdered, PervertedPolicy::kRandom}) {
+    const long lost = RunBank(true, p, failing_seed != 0 ? failing_seed : 1);
+    std::printf("  %-14s transfers lost: %ld\n", Name(p), lost);
+    all_clean = all_clean && lost == 0;
+  }
+  std::printf("\n%s\n", all_clean ? "fixed program survives perverted scheduling"
+                                  : "STILL BROKEN");
+  return all_clean ? 0 : 1;
+}

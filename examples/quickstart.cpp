@@ -1,0 +1,81 @@
+// Quickstart: create threads, share data under a mutex, wait on a condition variable, join.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build && ./build/examples/example_quickstart
+//
+// Everything here runs on ONE operating-system thread; fsup's own preemptive priority
+// scheduler multiplexes the pt_* threads (see README for the model).
+
+#include <cstdio>
+
+#include "src/core/pthread.hpp"
+
+namespace {
+
+struct Counter {
+  fsup::pt_mutex_t mutex;
+  fsup::pt_cond_t all_done;
+  long value = 0;
+  int workers_left = 0;
+};
+
+void* Worker(void* arg) {
+  auto* c = static_cast<Counter*>(arg);
+  for (int i = 0; i < 10000; ++i) {
+    fsup::pt_mutex_lock(&c->mutex);
+    ++c->value;
+    fsup::pt_mutex_unlock(&c->mutex);
+    if (i % 1000 == 0) {
+      fsup::pt_yield();  // be a good citizen under FIFO scheduling
+    }
+  }
+  fsup::pt_mutex_lock(&c->mutex);
+  if (--c->workers_left == 0) {
+    fsup::pt_cond_signal(&c->all_done);
+  }
+  fsup::pt_mutex_unlock(&c->mutex);
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  using namespace fsup;
+  pt_init();
+
+  Counter counter;
+  pt_mutex_init(&counter.mutex);
+  pt_cond_init(&counter.all_done);
+
+  constexpr int kWorkers = 4;
+  counter.workers_left = kWorkers;
+
+  pt_thread_t workers[kWorkers];
+  for (auto& w : workers) {
+    if (pt_create(&w, nullptr, &Worker, &counter) != 0) {
+      std::fprintf(stderr, "pt_create failed\n");
+      return 1;
+    }
+  }
+
+  // Wait for the workers on a condition variable (predicate loop, as always).
+  pt_mutex_lock(&counter.mutex);
+  while (counter.workers_left > 0) {
+    pt_cond_wait(&counter.all_done, &counter.mutex);
+  }
+  pt_mutex_unlock(&counter.mutex);
+
+  for (auto& w : workers) {
+    pt_join(w, nullptr);
+  }
+
+  std::printf("counter = %ld (expected %d)\n", counter.value, kWorkers * 10000);
+  const RuntimeStats stats = pt_stats();
+  std::printf("context switches: %llu, dispatches: %llu\n",
+              static_cast<unsigned long long>(stats.ctx_switches),
+              static_cast<unsigned long long>(stats.dispatches));
+
+  pt_cond_destroy(&counter.all_done);
+  pt_mutex_destroy(&counter.mutex);
+  return counter.value == kWorkers * 10000 ? 0 : 1;
+}

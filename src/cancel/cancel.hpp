@@ -1,0 +1,43 @@
+// Thread cancellation (paper, "Thread Cancellation" and Table 1).
+//
+// Cancellation is a request to send the internal signal SIGCANCEL. The action taken depends on
+// the receiving thread's interruptibility state:
+//
+//   disabled               — SIGCANCEL pends on the thread until cancellation is enabled
+//   enabled, controlled    — pends until an interruption point is reached
+//   enabled, asynchronous  — acted upon immediately
+//
+// Interruption points are the calls that may suspend indefinitely (conditional wait, sigwait,
+// join, delay, I/O waits) plus pt_testintr — but NOT mutex lock, so cleanup handlers always
+// see mutexes in a deterministic state. Acting on a cancellation disables interruptibility,
+// masks all signals for the thread, and pushes a fake call to pt_exit onto its stack.
+
+#ifndef FSUP_SRC_CANCEL_CANCEL_HPP_
+#define FSUP_SRC_CANCEL_CANCEL_HPP_
+
+#include "src/kernel/tcb.hpp"
+#include "src/kernel/types.hpp"
+
+namespace fsup::cancel {
+
+// Requests cancellation of t. In kernel.
+void RequestInKernel(Tcb* t);
+
+// The SIGCANCEL action of the signal delivery model (action step 5). In kernel.
+void CancelAction(Tcb* t);
+
+// Interruption point, kernel already entered: if a cancellation is pending and enabled on the
+// current thread, acts on it (never returns in that case).
+void TestIntrInKernel();
+
+// True if the current thread must self-cancel; consumed by the public API wrappers after they
+// leave the kernel (a running thread cannot fake-call itself).
+bool TakeSelfCancel();
+
+// pt_setintr / pt_setintrtype / pt_testintr backing.
+int SetInterruptibility(bool enabled, Interruptibility* old_state);
+int SetInterruptType(bool asynchronous, Interruptibility* old_state);
+
+}  // namespace fsup::cancel
+
+#endif  // FSUP_SRC_CANCEL_CANCEL_HPP_

@@ -1,0 +1,52 @@
+#include "src/cancel/cleanup.hpp"
+
+#include <cerrno>
+
+#include "src/kernel/kernel.hpp"
+#include "src/util/assert.hpp"
+
+namespace fsup::cleanup {
+
+void Push(void (*fn)(void*), void* arg) {
+  kernel::EnsureInit();
+  Tcb* self = kernel::Current();
+  auto* node = new CleanupNode{fn, arg, self->cleanup_head};
+  self->cleanup_head = node;
+}
+
+int Pop(bool execute) {
+  kernel::EnsureInit();
+  Tcb* self = kernel::Current();
+  CleanupNode* node = self->cleanup_head;
+  if (node == nullptr) {
+    return EINVAL;
+  }
+  self->cleanup_head = node->next;
+  if (execute && node->fn != nullptr) {
+    node->fn(node->arg);
+  }
+  delete node;
+  return 0;
+}
+
+void RunAll(Tcb* t) {
+  while (t->cleanup_head != nullptr) {
+    CleanupNode* node = t->cleanup_head;
+    t->cleanup_head = node->next;
+    if (node->fn != nullptr) {
+      node->fn(node->arg);
+    }
+    delete node;
+  }
+}
+
+int Depth() {
+  Tcb* self = kernel::Current();
+  int n = 0;
+  for (CleanupNode* p = self->cleanup_head; p != nullptr; p = p->next) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace fsup::cleanup

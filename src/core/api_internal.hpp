@@ -1,0 +1,20 @@
+// Cross-module hooks into the public-API layer (core/api.cpp). Internal only.
+
+#ifndef FSUP_SRC_CORE_API_INTERNAL_HPP_
+#define FSUP_SRC_CORE_API_INTERNAL_HPP_
+
+#include "src/kernel/tcb.hpp"
+
+namespace fsup::api {
+
+// pt_exit: runs cleanup handlers and TSD destructors, wakes joiners, terminates. Must be
+// called outside the kernel.
+[[noreturn]] void ExitCurrent(void* retval);
+
+// Allocates the stack of a lazily created thread, builds its initial context, and makes it
+// ready. In kernel.
+void ActivateLazyInKernel(Tcb* t);
+
+}  // namespace fsup::api
+
+#endif  // FSUP_SRC_CORE_API_INTERNAL_HPP_

@@ -1,0 +1,39 @@
+// Attribute helpers: ergonomic builders for thread and mutex attributes.
+
+#include "src/core/attr.hpp"
+
+namespace fsup {
+
+ThreadAttr MakeThreadAttr(int priority, const char* name) {
+  ThreadAttr a;
+  a.priority = priority;
+  a.name = name;
+  return a;
+}
+
+ThreadAttr MakeDetachedAttr(int priority, const char* name) {
+  ThreadAttr a = MakeThreadAttr(priority, name);
+  a.detached = true;
+  return a;
+}
+
+ThreadAttr MakeLazyAttr(int priority, const char* name) {
+  ThreadAttr a = MakeThreadAttr(priority, name);
+  a.lazy = true;
+  return a;
+}
+
+MutexAttr MakeInheritMutexAttr() {
+  MutexAttr a;
+  a.protocol = MutexProtocol::kInherit;
+  return a;
+}
+
+MutexAttr MakeCeilingMutexAttr(int ceiling) {
+  MutexAttr a;
+  a.protocol = MutexProtocol::kProtect;
+  a.ceiling = ceiling;
+  return a;
+}
+
+}  // namespace fsup

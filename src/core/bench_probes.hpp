@@ -1,0 +1,33 @@
+// Low-level probes for the benchmark harness and tests: the Table 2 rows that measure the
+// library's own mechanics ("enter and exit Pthreads kernel", "enter and exit UNIX kernel")
+// and the observability counters that validate the paper's claims about syscall frugality.
+
+#ifndef FSUP_SRC_CORE_BENCH_PROBES_HPP_
+#define FSUP_SRC_CORE_BENCH_PROBES_HPP_
+
+#include <cstdint>
+
+namespace fsup::probe {
+
+// One enter + exit of the Pthreads kernel (the monitor's fast path). Table 2 row 1.
+void KernelEnterExit();
+
+// One raw getpid(2) syscall, uncached. Table 2 row 2's "enter and exit UNIX kernel".
+int UnixKernelEnterExit();
+
+// Number of restartable-atomic-sequence rewinds the universal handler has performed.
+uint64_t RasRestarts();
+
+// Host kernel-call counters (see hostos::Call for the index meaning).
+uint64_t HostCallCount(int call);
+uint64_t SigprocmaskCount();
+uint64_t SetitimerCount();
+void ResetHostCallCounts();
+
+// Stack pool telemetry: pool hits vs fresh mmaps (the paper's 70%-of-creation-time claim).
+uint64_t StackPoolReuses();
+uint64_t StackPoolMaps();
+
+}  // namespace fsup::probe
+
+#endif  // FSUP_SRC_CORE_BENCH_PROBES_HPP_

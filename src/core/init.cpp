@@ -1,0 +1,33 @@
+// Initialization-order helpers and benchmark probes that need kernel internals.
+
+#include "src/core/bench_probes.hpp"
+
+#include "src/arch/ras.hpp"
+#include "src/hostos/unix_if.hpp"
+#include "src/kernel/kernel.hpp"
+
+namespace fsup::probe {
+
+void KernelEnterExit() { kernel::EnterExitProbe(); }
+
+int UnixKernelEnterExit() { return hostos::RawGetpid(); }
+
+uint64_t RasRestarts() { return ras::RestartCount(); }
+
+uint64_t HostCallCount(int call) {
+  return hostos::CallCount(static_cast<hostos::Call>(call));
+}
+
+uint64_t SigprocmaskCount() {
+  return hostos::CallCount(hostos::Call::kSigprocmask);
+}
+
+uint64_t SetitimerCount() { return hostos::CallCount(hostos::Call::kSetitimer); }
+
+void ResetHostCallCounts() { hostos::ResetCallCounts(); }
+
+uint64_t StackPoolReuses() { return kernel::ks().pool->stack_reuses(); }
+
+uint64_t StackPoolMaps() { return kernel::ks().pool->stack_maps(); }
+
+}  // namespace fsup::probe

@@ -1,0 +1,28 @@
+// Handler control redirection (paper, "Fake Calls"):
+//
+//   "the control is either transferred back to the interruption point or to an instruction
+//    whose address can optionally be specified by the user handler. [...] this feature is
+//    essential for the Ada runtime system"
+//
+// The modern library equivalent of "an instruction address" is a sigsetjmp target: the user
+// establishes a recovery point with sigsetjmp(env, 1) and, from inside a signal handler, calls
+// pt_handler_redirect(&env, val). When the handler returns, the fake-call wrapper (or the
+// synchronous-fault path) siglongjmps there instead of resuming the interruption point —
+// which is precisely how an Ada runtime propagates the exception corresponding to a
+// synchronous signal.
+
+#include <csetjmp>
+
+#include "src/core/pthread.hpp"
+#include "src/kernel/kernel.hpp"
+
+namespace fsup {
+
+void pt_handler_redirect(sigjmp_buf* env, int val) {
+  kernel::EnsureInit();
+  Tcb* self = kernel::Current();
+  self->redirect_env = env;
+  self->redirect_val = val;
+}
+
+}  // namespace fsup

@@ -1,0 +1,48 @@
+#include "src/debug/introspect.hpp"
+
+#include "src/kernel/kernel.hpp"
+#include "src/util/log.hpp"
+
+namespace fsup::debug {
+
+void DumpThreads() {
+  KernelState& k = kernel::ks();
+  if (!k.initialized) {
+    log::RawWriteCstr("fsup: runtime not initialized\n");
+    return;
+  }
+  log::RawWriteCstr("fsup threads:\n");
+  for (Tcb* t : k.all_threads) {
+    log::RawWriteCstr("  #");
+    log::RawWriteInt(t->id);
+    log::RawWriteCstr(" ");
+    log::RawWriteCstr(t->name[0] != '\0' ? t->name : "-");
+    log::RawWriteCstr(t == k.current ? " [current] " : " ");
+    log::RawWriteCstr(ToString(t->state));
+    if (t->state == ThreadState::kBlocked) {
+      log::RawWriteCstr("/");
+      log::RawWriteCstr(ToString(t->block_reason));
+    }
+    log::RawWriteCstr(" prio=");
+    log::RawWriteInt(t->prio);
+    if (t->prio != t->base_prio) {
+      log::RawWriteCstr(" (base=");
+      log::RawWriteInt(t->base_prio);
+      log::RawWriteCstr(")");
+    }
+    log::RawWriteCstr(" switches=");
+    log::RawWriteInt(static_cast<int64_t>(t->switches_in));
+    log::RawWriteCstr("\n");
+  }
+  log::RawWriteCstr("  ctx_switches=");
+  log::RawWriteInt(static_cast<int64_t>(k.ctx_switches));
+  log::RawWriteCstr(" dispatches=");
+  log::RawWriteInt(static_cast<int64_t>(k.dispatches));
+  log::RawWriteCstr(" preemptions=");
+  log::RawWriteInt(static_cast<int64_t>(k.preemptions));
+  log::RawWriteCstr(" deferred_signals=");
+  log::RawWriteInt(static_cast<int64_t>(k.deferred_signals));
+  log::RawWriteCstr("\n");
+}
+
+}  // namespace fsup::debug

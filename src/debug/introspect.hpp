@@ -1,0 +1,17 @@
+// Thread introspection: signal-safe dumps of every TCB, used by the deadlock detector, fatal
+// errors, and the pt_dump_threads() debugging API (the paper's "Future Work" asks for exactly
+// this: "Information could be extracted from the thread control block and made available to
+// the user").
+
+#ifndef FSUP_SRC_DEBUG_INTROSPECT_HPP_
+#define FSUP_SRC_DEBUG_INTROSPECT_HPP_
+
+namespace fsup::debug {
+
+// Writes a table of all threads (id, name, state, block reason, priorities, stats) to stderr.
+// Async-signal-safe.
+void DumpThreads();
+
+}  // namespace fsup::debug
+
+#endif  // FSUP_SRC_DEBUG_INTROSPECT_HPP_

@@ -1,0 +1,66 @@
+#include "src/debug/trace.hpp"
+
+#include "src/util/dual_loop_timer.hpp"
+
+namespace fsup::debug::trace {
+namespace {
+
+constexpr size_t kCapacity = 1 << 16;
+
+Record g_ring[kCapacity];
+size_t g_next = 0;
+size_t g_count = 0;
+bool g_enabled = false;
+
+}  // namespace
+
+void Enable(bool on) { g_enabled = on; }
+
+bool Enabled() { return g_enabled; }
+
+void Clear() {
+  g_next = 0;
+  g_count = 0;
+}
+
+void Log(Event e, uint32_t a, uint32_t b) {
+  if (!g_enabled) {
+    return;
+  }
+  g_ring[g_next] = Record{NowNs(), e, a, b};
+  g_next = (g_next + 1) % kCapacity;
+  if (g_count < kCapacity) {
+    ++g_count;
+  }
+}
+
+size_t Count() { return g_count; }
+
+Record Get(size_t i) {
+  const size_t oldest = g_count < kCapacity ? 0 : g_next;
+  return g_ring[(oldest + i) % kCapacity];
+}
+
+const char* Name(Event e) {
+  switch (e) {
+    case Event::kSwitch:
+      return "switch";
+    case Event::kMutexLock:
+      return "lock";
+    case Event::kMutexBlock:
+      return "block";
+    case Event::kMutexUnlock:
+      return "unlock";
+    case Event::kPrioBoost:
+      return "boost";
+    case Event::kPrioRestore:
+      return "restore";
+    case Event::kSignal:
+      return "signal";
+    case Event::kUser:
+      return "user";
+  }
+  return "?";
+}
+
+}  // namespace fsup::debug::trace

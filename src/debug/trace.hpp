@@ -1,0 +1,51 @@
+// Event tracing.
+//
+// A fixed-size ring of scheduler events (context switches, mutex operations, priority changes,
+// signal deliveries) with CLOCK_MONOTONIC timestamps. Disabled it costs one predicted branch
+// per hook. The priority-inversion benches (paper Figure 5) replay this ring to print the
+// execution timelines, and tests assert ordering properties against it.
+
+#ifndef FSUP_SRC_DEBUG_TRACE_HPP_
+#define FSUP_SRC_DEBUG_TRACE_HPP_
+
+#include <cstdint>
+#include <cstddef>
+
+namespace fsup::debug::trace {
+
+enum class Event : uint8_t {
+  kSwitch = 0,    // a = from thread id, b = to thread id
+  kMutexLock,     // a = thread id, b = mutex tag
+  kMutexBlock,    // a = thread id, b = mutex tag
+  kMutexUnlock,   // a = thread id, b = mutex tag
+  kPrioBoost,     // a = thread id, b = new priority
+  kPrioRestore,   // a = thread id, b = new priority
+  kSignal,        // a = thread id, b = signo
+  kUser,          // a, b = caller-defined
+};
+
+struct Record {
+  int64_t t_ns;
+  Event event;
+  uint32_t a;
+  uint32_t b;
+};
+
+void Enable(bool on);
+bool Enabled();
+void Clear();
+
+// Appends a record if tracing is enabled. Safe from kernel context (no allocation).
+void Log(Event e, uint32_t a, uint32_t b);
+
+inline void OnSwitch(uint32_t from, uint32_t to) { Log(Event::kSwitch, from, to); }
+
+// Snapshot access: number of records (capped at capacity) and the i-th oldest record.
+size_t Count();
+Record Get(size_t i);
+
+const char* Name(Event e);
+
+}  // namespace fsup::debug::trace
+
+#endif  // FSUP_SRC_DEBUG_TRACE_HPP_

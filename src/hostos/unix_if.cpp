@@ -1,0 +1,103 @@
+#include "src/hostos/unix_if.hpp"
+
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include "src/util/assert.hpp"
+
+namespace fsup::hostos {
+namespace {
+
+uint64_t g_counts[static_cast<int>(Call::kCount)] = {};
+
+void Bump(Call c) { ++g_counts[static_cast<int>(c)]; }
+
+}  // namespace
+
+uint64_t CallCount(Call c) { return g_counts[static_cast<int>(c)]; }
+
+uint64_t TotalCallCount() {
+  uint64_t total = 0;
+  for (uint64_t n : g_counts) {
+    total += n;
+  }
+  return total;
+}
+
+void ResetCallCounts() {
+  for (uint64_t& n : g_counts) {
+    n = 0;
+  }
+}
+
+int Sigaction(int signo, const struct sigaction* act, struct sigaction* old) {
+  Bump(Call::kSigaction);
+  return ::sigaction(signo, act, old);
+}
+
+int Sigprocmask(int how, const sigset_t* set, sigset_t* old) {
+  Bump(Call::kSigprocmask);
+  return ::sigprocmask(how, set, old);
+}
+
+int Setitimer(int which, const itimerval* value, itimerval* old) {
+  Bump(Call::kSetitimer);
+  return ::setitimer(which, value, old);
+}
+
+int SigaltStack(const stack_t* ss, stack_t* old) {
+  Bump(Call::kSigaltstack);
+  return ::sigaltstack(ss, old);
+}
+
+int Kill(pid_t pid, int signo) {
+  Bump(Call::kKill);
+  return ::kill(pid, signo);
+}
+
+size_t PageSize() {
+  static const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  return page;
+}
+
+void* MapStack(size_t usable_size, size_t* mapped_size_out) {
+  const size_t page = PageSize();
+  const size_t usable = (usable_size + page - 1) & ~(page - 1);
+  const size_t total = usable + page;  // one guard page at the low end
+
+  Bump(Call::kMmap);
+  void* base = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  if (base == MAP_FAILED) {
+    return nullptr;
+  }
+  Bump(Call::kMprotect);
+  if (::mprotect(base, page, PROT_NONE) != 0) {
+    Bump(Call::kMunmap);
+    ::munmap(base, total);
+    return nullptr;
+  }
+  if (mapped_size_out != nullptr) {
+    *mapped_size_out = usable;
+  }
+  return static_cast<char*>(base) + page;
+}
+
+void UnmapStack(void* usable_base, size_t mapped_size) {
+  const size_t page = PageSize();
+  Bump(Call::kMunmap);
+  ::munmap(static_cast<char*>(usable_base) - page, mapped_size + page);
+}
+
+bool InGuardPage(const void* addr, const void* usable_base) {
+  const char* guard_lo = static_cast<const char*>(usable_base) - PageSize();
+  const char* p = static_cast<const char*>(addr);
+  return p >= guard_lo && p < static_cast<const char*>(usable_base);
+}
+
+int RawGetpid() { return static_cast<int>(::syscall(SYS_getpid)); }
+
+int RawGettid() { return static_cast<int>(::syscall(SYS_gettid)); }
+
+}  // namespace fsup::hostos

@@ -1,0 +1,63 @@
+// The UNIX interface of the library.
+//
+// The paper makes "few operating system calls" a first-class design objective and reports that
+// the implementation uses about 20 UNIX services, most only during initialization, with exactly
+// two sigsetmask calls per externally delivered signal. Every kernel call the library makes
+// goes through this module, which counts invocations per service so that tests and benches can
+// *verify* those claims rather than assert them in prose.
+
+#ifndef FSUP_SRC_HOSTOS_UNIX_IF_HPP_
+#define FSUP_SRC_HOSTOS_UNIX_IF_HPP_
+
+#include <signal.h>
+#include <sys/time.h>
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fsup::hostos {
+
+enum class Call : int {
+  kSigaction = 0,
+  kSigprocmask,
+  kSetitimer,
+  kMmap,
+  kMunmap,
+  kMprotect,
+  kSigaltstack,
+  kKill,
+  kCount,
+};
+
+// Per-service invocation counters since process start.
+uint64_t CallCount(Call c);
+uint64_t TotalCallCount();
+void ResetCallCounts();
+
+// Counted wrappers. All return 0 on success / -1 with errno like their raw counterparts.
+int Sigaction(int signo, const struct sigaction* act, struct sigaction* old);
+int Sigprocmask(int how, const sigset_t* set, sigset_t* old);
+int Setitimer(int which, const itimerval* value, itimerval* old);
+int SigaltStack(const stack_t* ss, stack_t* old);
+int Kill(pid_t pid, int signo);
+
+// Maps a thread stack with an inaccessible guard page at the low end; returns the *usable*
+// base (just above the guard) or nullptr. usable_size is rounded up to the page size.
+void* MapStack(size_t usable_size, size_t* mapped_size_out);
+void UnmapStack(void* usable_base, size_t mapped_size);
+
+// True if addr falls inside the guard page of the given stack mapping.
+bool InGuardPage(const void* addr, const void* usable_base);
+
+size_t PageSize();
+
+// Raw getpid via syscall(2), bypassing any libc caching — used by the Table 2 row
+// "enter and exit UNIX kernel".
+int RawGetpid();
+
+// Raw gettid; used to enforce the single-OS-thread discipline of the library.
+int RawGettid();
+
+}  // namespace fsup::hostos
+
+#endif  // FSUP_SRC_HOSTOS_UNIX_IF_HPP_

@@ -1,0 +1,132 @@
+#include "src/io/io.hpp"
+
+#include <poll.h>
+#include <cerrno>
+
+#include "src/cancel/cancel.hpp"
+#include "src/kernel/kernel.hpp"
+#include "src/signals/sigmodel.hpp"
+#include "src/util/assert.hpp"
+
+namespace fsup::io {
+namespace {
+
+constexpr int kMaxWaiters = 64;
+
+struct Waiter {
+  Tcb* t = nullptr;
+  int fd = -1;
+  short events = 0;
+  bool active = false;
+};
+
+Waiter g_waiters[kMaxWaiters];
+int g_active = 0;
+
+Waiter* AllocSlot() {
+  for (Waiter& w : g_waiters) {
+    if (!w.active) {
+      return &w;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool HaveWaiters() { return g_active > 0; }
+
+void PollOnce(int64_t timeout_ns) {
+  FSUP_ASSERT(kernel::InKernel());
+
+  pollfd fds[kMaxWaiters];
+  Waiter* slots[kMaxWaiters];
+  nfds_t n = 0;
+  for (Waiter& w : g_waiters) {
+    if (w.active) {
+      fds[n].fd = w.fd;
+      fds[n].events = w.events;
+      fds[n].revents = 0;
+      slots[n] = &w;
+      ++n;
+    }
+  }
+
+  int timeout_ms;
+  if (timeout_ns < 0) {
+    timeout_ms = -1;  // sleep until a signal arrives
+  } else {
+    timeout_ms = static_cast<int>((timeout_ns + 999999) / 1000000);
+  }
+  // Signals are unblocked here (the idle loop ensures it); they interrupt the poll and are
+  // replayed by the dispatcher since the kernel flag is set.
+  const int rc = ::poll(n > 0 ? fds : nullptr, n, timeout_ms);
+  if (rc <= 0) {
+    return;  // timeout or EINTR
+  }
+  for (nfds_t i = 0; i < n; ++i) {
+    if (fds[i].revents == 0) {
+      continue;
+    }
+    Waiter* w = slots[i];
+    w->active = false;
+    --g_active;
+    w->t->io_ready = true;
+    kernel::MakeReady(w->t);
+  }
+}
+
+int WaitFdReady(int fd, short events) {
+  kernel::EnsureInit();
+  Tcb* self = kernel::Current();
+  kernel::Enter();
+  cancel::TestIntrInKernel();  // I/O waits are interruption points
+
+  Waiter* w = AllocSlot();
+  if (w == nullptr) {
+    kernel::Exit();
+    errno = EAGAIN;
+    return -1;
+  }
+  w->t = self;
+  w->fd = fd;
+  w->events = events;
+  w->active = true;
+  ++g_active;
+  self->io_ready = false;
+
+  kernel::Suspend(BlockReason::kIo);
+
+  if (w->active && w->t == self) {
+    // Woken by something other than the poller (fake call): release the slot.
+    w->active = false;
+    --g_active;
+  }
+  const bool ready = self->io_ready;
+  cancel::TestIntrInKernel();
+  kernel::Exit();
+
+  if (!ready) {
+    errno = EINTR;
+    return -1;
+  }
+  return 0;
+}
+
+void ForgetThread(Tcb* t) {
+  for (Waiter& w : g_waiters) {
+    if (w.active && w.t == t) {
+      w.active = false;
+      --g_active;
+    }
+  }
+}
+
+void ResetForTesting() {
+  for (Waiter& w : g_waiters) {
+    w = Waiter{};
+  }
+  g_active = 0;
+}
+
+}  // namespace fsup::io

@@ -1,0 +1,40 @@
+// Asynchronous I/O for threads (paper acknowledgments: Rustagi's async I/O).
+//
+// A true library implementation must not let one thread's blocking read(2) stall the whole
+// process. pt_read/pt_write put the fd in non-blocking mode, attempt the operation, and on
+// EAGAIN suspend the calling thread on an I/O wait registry. The registry is polled (with zero
+// timeout) whenever the dispatcher goes idle, and the idle loop sleeps *in* ppoll so I/O
+// readiness, timer signals, and external signals all wake it.
+
+#ifndef FSUP_SRC_IO_IO_HPP_
+#define FSUP_SRC_IO_IO_HPP_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/kernel/tcb.hpp"
+
+namespace fsup::io {
+
+// True if any thread is suspended waiting for fd readiness.
+bool HaveWaiters();
+
+// Polls all waited fds once. timeout_ns < 0 means "no fd waiters: sleep until a signal or
+// deadline"; 0 means non-blocking check. Wakes every thread whose fd became ready (or raised
+// an error). Must be called with the kernel entered; the poll itself keeps signals deliverable
+// (they are deferred by the kernel flag and replayed by the dispatcher).
+void PollOnce(int64_t timeout_ns);
+
+// Registers the current thread as waiting for `events` (POLLIN/POLLOUT) on fd and suspends.
+// Returns 0 once ready, or -1 with errno (EINTR if woken by a signal handler, ECANCELED via
+// cancellation unwind). In kernel: no — call *outside* the kernel; it enters itself.
+int WaitFdReady(int fd, short events);
+
+// Removes t from the wait registry (fake-call unblocking, thread reap, reset).
+void ForgetThread(Tcb* t);
+
+void ResetForTesting();
+
+}  // namespace fsup::io
+
+#endif  // FSUP_SRC_IO_IO_HPP_

@@ -1,0 +1,166 @@
+// The dispatcher (paper Figure 2).
+//
+// Selects the next thread under the active scheduling policy, switches contexts, and runs the
+// kernel-exit protocol: clear the kernel and dispatcher flags, then re-check for signals that
+// were caught while in the kernel — if any arrived, re-enter and restart the dispatch, because
+// handling them may change which thread should run.
+
+#include <cerrno>
+
+#include "src/debug/trace.hpp"
+#include "src/io/io.hpp"
+#include "src/kernel/kernel.hpp"
+#include "src/sched/perverted.hpp"
+#include "src/signals/fake_call.hpp"
+#include "src/signals/sigmodel.hpp"
+#include "src/util/assert.hpp"
+#include "src/util/dual_loop_timer.hpp"
+
+namespace fsup::kernel {
+namespace {
+
+// Switches from the running thread to `next` (which must not be current). When the call
+// returns, the original thread has been re-dispatched.
+void SwitchTo(Tcb* next) {
+  KernelState& k = ks();
+  Tcb* cur = k.current;
+  FSUP_ASSERT(next != cur);
+  FSUP_ASSERT(next->state == ThreadState::kReady || next->queued_level == -1);
+
+  // The paper swaps UNIX's global error number with the thread's on every switch.
+  cur->err_no = errno;
+
+  next->state = ThreadState::kRunning;
+  next->block_reason = BlockReason::kNone;
+  ++next->switches_in;
+  ++k.ctx_switches;
+  k.current = next;
+  debug::trace::OnSwitch(cur->id, next->id);
+
+  sig::OnDispatch(next);
+
+  if (next->interrupted_by_signal) {
+    // `next` still has a UNIX signal frame pending on its stack. Block process signals before
+    // resuming it so the universal handler cannot stack another instance on top of the
+    // un-returned one (the paper's rule against unbounded stack growth); the handler's return
+    // path (sigreturn) re-enables them.
+    sig::BlockAllOsSignals();
+  }
+
+  fsup_ctx_switch(&cur->ctx, &next->ctx);
+
+  // We are `cur` again, inside the kernel of whoever switched back to us.
+  errno = cur->err_no;
+  ReapZombies();
+}
+
+// No thread is runnable: wait for a timer, I/O readiness, or an external signal. Runs inside
+// the kernel, so any signal that arrives is deferred and replayed by the dispatch loop.
+void IdleWait() {
+  KernelState& k = ks();
+  sig::UnblockAllOsSignals();
+
+  const int64_t deadline = sig::NextDeadlineNs();
+  if (deadline < 0 && !io::HaveWaiters() && !sig::ExternalWakeupPossible()) {
+    DeadlockAbort();
+  }
+
+  int64_t timeout_ns = -1;
+  if (deadline >= 0) {
+    const int64_t now = NowNs();
+    timeout_ns = deadline > now ? deadline - now : 0;
+  }
+  io::PollOnce(timeout_ns);
+
+  if (deadline >= 0 && NowNs() >= deadline) {
+    sig::OnTimerTick();
+  }
+  const SigSet deferred = k.sigs_caught_in_kernel.exchange(0, std::memory_order_relaxed);
+  if (deferred != 0) {
+    sig::HandleDeferred(deferred);
+  }
+}
+
+}  // namespace
+
+void DispatchKeepKernel() {
+  KernelState& k = ks();
+  FSUP_ASSERT(k.in_kernel != 0);
+  ++k.dispatches;
+
+  for (;;) {
+    k.dispatch_pending = 0;
+
+    // Replay signals logged while in the kernel before selecting: they may ready threads.
+    const SigSet deferred = k.sigs_caught_in_kernel.exchange(0, std::memory_order_relaxed);
+    if (deferred != 0) {
+      sig::HandleDeferred(deferred);
+      continue;
+    }
+
+    Tcb* cur = k.current;
+    Tcb* next = nullptr;
+
+    if (cur->state == ThreadState::kRunning) {
+      // The running thread stays unless a strictly higher-priority thread is ready.
+      if (k.ready.TopPrio() > cur->prio) {
+        cur->state = ThreadState::kReady;
+        k.ready.PushFront(cur);  // preempted: head of its level, it did not consume its turn
+        ++k.preemptions;
+        next = k.ready.PopHighest();
+      } else {
+        return;  // keep running
+      }
+    } else {
+      if (sched::TakeRandomPickRequest() && !k.ready.empty()) {
+        next = k.ready.PopNth(k.rng.NextBelow(k.ready.size()));
+      } else {
+        next = k.ready.PopHighest();
+      }
+      if (next == nullptr) {
+        IdleWait();
+        continue;
+      }
+      if (next == cur) {
+        // The current thread yielded / was requeued and won selection again.
+        cur->state = ThreadState::kRunning;
+        cur->block_reason = BlockReason::kNone;
+        sig::OnDispatch(cur);
+        return;
+      }
+    }
+
+    SwitchTo(next);
+    return;
+  }
+}
+
+void ExitProtocol() {
+  KernelState& k = ks();
+  FSUP_ASSERT(k.in_kernel != 0);
+  for (;;) {
+    k.in_kernel = 0;
+    // Window: a signal arriving here is handled immediately by the universal handler (the
+    // flag is clear), which is exactly what we want.
+    if (k.sigs_caught_in_kernel.load(std::memory_order_relaxed) == 0 &&
+        k.dispatch_pending == 0) {
+      break;
+    }
+    // Something was deferred or readied: re-enter and dispatch again (Figure 2's restart).
+    k.in_kernel = 1;
+    DispatchKeepKernel();
+  }
+  // Replaying deferred signals may have selected the *current* thread as a handler recipient;
+  // a running thread cannot take a fake call, so its handlers drain here, right after the
+  // kernel exit (RunSelfHandlers re-enters the kernel briefly for mask bookkeeping).
+  if (sig::SelfHandlersPending()) {
+    sig::RunSelfHandlers();
+  }
+}
+
+void Dispatch() {
+  DispatchKeepKernel();
+  ExitProtocol();
+}
+
+}  // namespace fsup::kernel

@@ -1,0 +1,195 @@
+#include "src/kernel/kernel.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <new>
+
+#include <sys/time.h>
+
+#include "src/arch/ras.hpp"
+#include "src/hostos/unix_if.hpp"
+#include "src/debug/introspect.hpp"
+#include "src/io/io.hpp"
+#include "src/sched/perverted.hpp"
+#include "src/signals/sigmodel.hpp"
+#include "src/util/assert.hpp"
+#include "src/util/log.hpp"
+
+namespace fsup::kernel {
+namespace {
+
+constexpr size_t kPrecachedStacks = 8;
+
+// The main thread's TCB lives in static storage: it has no library-owned stack and must exist
+// before any pool does.
+alignas(Tcb) unsigned char g_main_tcb_storage[sizeof(Tcb)];
+
+}  // namespace
+
+KernelState& ks() {
+  static KernelState state;
+  return state;
+}
+
+void EnsureInit() {
+  KernelState& k = ks();
+  if (k.initialized) {
+    return;
+  }
+  k.initialized = true;
+
+  ras::RegisterBuiltins();
+  k.pool = new StackPool(kPrecachedStacks);
+
+  Tcb* main_tcb = new (g_main_tcb_storage) Tcb();
+  main_tcb->magic = kTcbMagic;
+  main_tcb->id = k.next_id++;
+  main_tcb->state = ThreadState::kRunning;
+  main_tcb->prio = kDefaultPrio;
+  main_tcb->base_prio = kDefaultPrio;
+  main_tcb->name[0] = 'm';
+  main_tcb->name[1] = 'a';
+  main_tcb->name[2] = 'i';
+  main_tcb->name[3] = 'n';
+
+  k.main_tcb = main_tcb;
+  k.current = main_tcb;
+  k.live_threads = 1;
+  k.all_threads.PushBack(main_tcb);
+
+  sig::InstallOsHandlers();
+  // Make the signal state canonical: nothing blocked. (After a reinit the mask was fully
+  // blocked across the handler swap; on first init this is the process default anyway.)
+  sig::UnblockAllOsSignals();
+  log::Write("runtime initialized");
+}
+
+void ReinitForTesting() {
+  KernelState& k = ks();
+  if (!k.initialized) {
+    EnsureInit();
+    return;
+  }
+  FSUP_CHECK_MSG(k.in_kernel == 0, "reinit inside the kernel");
+  FSUP_CHECK_MSG(k.current == k.main_tcb, "reinit off the main thread");
+
+  Enter();
+  ReapZombies();
+  FSUP_CHECK_MSG(k.all_threads.size() == 1, "reinit with live threads");
+  k.in_kernel = 0;
+
+  // Disarm the interval timer and keep signals blocked across the handler swap: a stray
+  // SIGALRM landing while the saved (default) disposition is restored would kill the process.
+  itimerval off{};
+  hostos::Setitimer(ITIMER_REAL, &off, nullptr);
+  sig::BlockAllOsSignals();
+  sig::UninstallOsHandlers();
+  io::ResetForTesting();
+
+  Tcb* main_tcb = k.main_tcb;
+  main_tcb->all_link.Unlink();
+  delete k.pool;
+
+  k.~KernelState();
+  new (&k) KernelState();
+  main_tcb->~Tcb();
+
+  EnsureInit();
+}
+
+void MakeReady(Tcb* t, bool front) {
+  KernelState& k = ks();
+  FSUP_ASSERT(k.in_kernel != 0);
+  FSUP_ASSERT(t->state != ThreadState::kTerminated);
+  // t may be the current thread: a blocked thread with no runnable peer idles on its own
+  // stack inside the dispatcher, and its own timer/IO wakeup re-readies it.
+  t->state = ThreadState::kReady;
+  t->block_reason = BlockReason::kNone;
+  if (front) {
+    k.ready.PushFront(t);
+  } else {
+    k.ready.PushBack(t);
+  }
+  if (k.current == nullptr || t->prio > k.current->prio ||
+      k.current->state != ThreadState::kRunning) {
+    k.dispatch_pending = 1;
+  }
+}
+
+void Suspend(BlockReason reason) {
+  KernelState& k = ks();
+  FSUP_ASSERT(k.in_kernel != 0);
+  Tcb* self = k.current;
+  FSUP_ASSERT(self->state == ThreadState::kRunning);
+  self->state = ThreadState::kBlocked;
+  self->block_reason = reason;
+  DispatchKeepKernel();
+  // Resumed: made ready by a waker and selected by the dispatcher. Still in the kernel.
+  FSUP_ASSERT(k.current == self);
+  FSUP_ASSERT(self->state == ThreadState::kRunning);
+}
+
+void Yield() {
+  KernelState& k = ks();
+  FSUP_ASSERT(k.in_kernel != 0);
+  Tcb* self = k.current;
+  self->state = ThreadState::kReady;
+  k.ready.PushBack(self);
+  DispatchKeepKernel();
+}
+
+void Exit() {
+  KernelState& k = ks();
+  FSUP_ASSERT(k.in_kernel != 0);
+  if (k.perverted != PervertedPolicy::kNone) {
+    sched::PervertedOnKernelExit();
+  }
+  // Figure 2's exit order matters: clear the flag FIRST, then re-check the signal log. A
+  // signal that lands before the clear is logged and must be replayed by us; one that lands
+  // after the clear is handled immediately by the universal handler. Checking before clearing
+  // loses the in-between arrival forever. ExitProtocol implements exactly this loop.
+  ExitProtocol();
+}
+
+void EnterExitProbe() {
+  // The Table 2 "enter and exit Pthreads kernel" cost: the monitor's fast path.
+  Enter();
+  ExitProtocol();
+}
+
+void ReapZombies() {
+  KernelState& k = ks();
+  FSUP_ASSERT(k.in_kernel != 0);
+  Tcb* z;
+  while ((z = k.zombies.PopFront()) != nullptr) {
+    FSUP_ASSERT(z != k.current);
+    z->all_link.Unlink();
+    sig::ForgetThread(z);
+    k.pool->Free(z);
+  }
+}
+
+void TerminateCurrent() {
+  KernelState& k = ks();
+  FSUP_ASSERT(k.in_kernel != 0);
+  Tcb* self = k.current;
+  FSUP_ASSERT(self->state == ThreadState::kTerminated);
+  FSUP_CHECK(k.live_threads > 0);
+  --k.live_threads;
+  if (k.live_threads == 0) {
+    // Last thread: the process is done (the paper-era semantics of the final pthread_exit).
+    k.in_kernel = 0;
+    std::exit(0);
+  }
+  DispatchKeepKernel();
+  FSUP_CHECK_MSG(false, "terminated thread dispatched");
+  ::abort();
+}
+
+void DeadlockAbort() {
+  log::RawWriteCstr("fsup: DEADLOCK — no runnable thread and no wakeup source\n");
+  debug::DumpThreads();
+  FatalError("all threads deadlocked", __FILE__, __LINE__);
+}
+
+}  // namespace fsup::kernel

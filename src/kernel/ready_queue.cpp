@@ -1,0 +1,100 @@
+#include "src/kernel/ready_queue.hpp"
+
+#include <bit>
+
+#include "src/util/assert.hpp"
+
+namespace fsup {
+
+void ReadyQueue::Push(Tcb* t, int level, bool front) {
+  FSUP_ASSERT(level >= kMinPrio && level <= kMaxPrio);
+  FSUP_ASSERT(t->queued_level == -1);
+  if (front) {
+    level_[level].PushFront(t);
+  } else {
+    level_[level].PushBack(t);
+  }
+  t->queued_level = static_cast<int8_t>(level);
+  bitmap_ |= 1u << level;
+}
+
+void ReadyQueue::PushBack(Tcb* t) { Push(t, t->prio, /*front=*/false); }
+
+void ReadyQueue::PushFront(Tcb* t) { Push(t, t->prio, /*front=*/true); }
+
+void ReadyQueue::PushBackLowestLevel(Tcb* t) {
+  // Tail of the lowest occupied level — behind every ready thread. With nothing else ready the
+  // thread's own priority level is as low as any.
+  const int level = bitmap_ != 0 ? std::countr_zero(bitmap_) : static_cast<int>(t->prio);
+  Push(t, level, /*front=*/false);
+}
+
+Tcb* ReadyQueue::PopFrom(int level) {
+  Tcb* t = level_[level].PopFront();
+  FSUP_ASSERT(t != nullptr);
+  t->queued_level = -1;
+  if (level_[level].empty()) {
+    bitmap_ &= ~(1u << level);
+  }
+  return t;
+}
+
+Tcb* ReadyQueue::PopHighest() {
+  if (bitmap_ == 0) {
+    return nullptr;
+  }
+  return PopFrom(31 - std::countl_zero(bitmap_));
+}
+
+Tcb* ReadyQueue::PopLowest() {
+  if (bitmap_ == 0) {
+    return nullptr;
+  }
+  return PopFrom(std::countr_zero(bitmap_));
+}
+
+int ReadyQueue::TopPrio() const {
+  return bitmap_ == 0 ? -1 : 31 - std::countl_zero(bitmap_);
+}
+
+void ReadyQueue::Erase(Tcb* t) {
+  if (t->queued_level < 0) {
+    return;
+  }
+  const int level = t->queued_level;
+  level_[level].Erase(t);
+  t->queued_level = -1;
+  if (level_[level].empty()) {
+    bitmap_ &= ~(1u << level);
+  }
+}
+
+uint64_t ReadyQueue::size() const {
+  uint64_t n = 0;
+  for (const auto& l : level_) {
+    n += l.size();
+  }
+  return n;
+}
+
+Tcb* ReadyQueue::PopNth(uint64_t i) {
+  for (int level = kMaxPrio; level >= kMinPrio; --level) {
+    if ((bitmap_ & (1u << level)) == 0) {
+      continue;
+    }
+    for (Tcb* t : level_[level]) {
+      if (i == 0) {
+        level_[level].Erase(t);
+        t->queued_level = -1;
+        if (level_[level].empty()) {
+          bitmap_ &= ~(1u << level);
+        }
+        return t;
+      }
+      --i;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace fsup

@@ -1,0 +1,60 @@
+// Per-priority ready queues with an occupancy bitmap.
+//
+// One FIFO list per priority level plus a 32-bit bitmap makes "select the highest-priority
+// ready thread" a single count-leading-zeros — the dispatcher's hot path. Preempted threads
+// re-enter at the head of their level (they did not consume their turn); yielding,
+// time-sliced and newly readied threads enter at the tail.
+
+#ifndef FSUP_SRC_KERNEL_READY_QUEUE_HPP_
+#define FSUP_SRC_KERNEL_READY_QUEUE_HPP_
+
+#include <cstdint>
+
+#include "src/kernel/tcb.hpp"
+#include "src/kernel/types.hpp"
+#include "src/util/intrusive_list.hpp"
+
+namespace fsup {
+
+class ReadyQueue {
+ public:
+  void PushBack(Tcb* t);
+  void PushFront(Tcb* t);
+
+  // Removes and returns the first thread of the highest occupied priority, or nullptr.
+  Tcb* PopHighest();
+
+  // Removes and returns the first thread of the *lowest* occupied priority (used by the
+  // perverted RR-ordered policy's "tail of the lowest priority queue" counterpart checks).
+  Tcb* PopLowest();
+
+  // Highest occupied priority, or -1 when empty.
+  int TopPrio() const;
+
+  // Removes t from whatever level holds it.
+  void Erase(Tcb* t);
+
+  // Removes and returns the i-th ready thread in priority-then-FIFO order (random policy).
+  Tcb* PopNth(uint64_t i);
+
+  bool empty() const { return bitmap_ == 0; }
+  uint64_t size() const;
+
+  // Pushes t at the tail of the *lowest occupied* priority queue position — i.e. behind every
+  // other ready thread regardless of t's priority (perverted RR-ordered / random switch).
+  // Implemented as tail of t's own level plus a "demoted" marker is *not* what the paper says:
+  // the thread really is placed on the lowest-priority level's tail, so any other ready thread
+  // runs first. The thread's priority field is untouched; only its queue position is perverted.
+  void PushBackLowestLevel(Tcb* t);
+
+ private:
+  void Push(Tcb* t, int level, bool front);
+  Tcb* PopFrom(int level);
+
+  IntrusiveList<Tcb, &Tcb::link> level_[kNumPrios];
+  uint32_t bitmap_ = 0;
+};
+
+}  // namespace fsup
+
+#endif  // FSUP_SRC_KERNEL_READY_QUEUE_HPP_

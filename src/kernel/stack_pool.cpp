@@ -1,0 +1,121 @@
+#include "src/kernel/stack_pool.hpp"
+
+#include <new>
+
+#include "src/hostos/unix_if.hpp"
+#include "src/util/assert.hpp"
+
+namespace fsup {
+namespace {
+
+// Upper bound on recycled stacks kept mapped: enough for bursty create/join batches without
+// pinning unbounded address space (128 KiB usable + guard page each).
+constexpr size_t kMaxPooledStacks = 128;
+
+}  // namespace
+
+StackPool::StackPool(size_t precache) : precache_target_(precache) {
+  tcb_pool_.Reserve(precache == 0 ? 1 : precache * 2);
+  // Pre-map `precache` default-size stacks so warm creation performs no kernel calls.
+  for (size_t i = 0; i < precache; ++i) {
+    size_t mapped = 0;
+    void* base = hostos::MapStack(kDefaultStackSize, &mapped);
+    if (base == nullptr) {
+      break;
+    }
+    ++stack_maps_;
+    auto* fs = new (base) FreeStack{free_head_, mapped};
+    free_head_ = fs;
+    ++free_count_;
+  }
+}
+
+StackPool::~StackPool() {
+  while (free_head_ != nullptr) {
+    FreeStack* fs = free_head_;
+    free_head_ = fs->next;
+    hostos::UnmapStack(fs, fs->mapped_size);
+  }
+  free_count_ = 0;
+}
+
+void* StackPool::TakePooledStack(size_t* size_out) {
+  if (free_head_ == nullptr) {
+    return nullptr;
+  }
+  FreeStack* fs = free_head_;
+  free_head_ = fs->next;
+  --free_count_;
+  ++stack_reuses_;
+  *size_out = fs->mapped_size;
+  fs->~FreeStack();
+  return fs;
+}
+
+Tcb* StackPool::AllocateNoStack() {
+  auto* t = new (tcb_pool_.Get()) Tcb();
+  t->magic = kTcbMagic;
+  return t;
+}
+
+bool StackPool::AttachStack(Tcb* t, size_t stack_size) {
+  FSUP_CHECK(t->stack_base == nullptr);
+  void* stack = nullptr;
+  size_t mapped = 0;
+  if (stack_size <= kDefaultStackSize) {
+    stack = TakePooledStack(&mapped);
+  }
+  if (stack == nullptr) {
+    stack = hostos::MapStack(stack_size, &mapped);
+    if (stack == nullptr) {
+      return false;
+    }
+    ++stack_maps_;
+  }
+  t->stack_base = stack;
+  t->stack_size = mapped;
+  t->stack_pooled = mapped == kDefaultStackSize;
+  return true;
+}
+
+Tcb* StackPool::Allocate(size_t stack_size) {
+  Tcb* t = AllocateNoStack();
+  if (!AttachStack(t, stack_size)) {
+    t->magic = 0;
+    t->~Tcb();
+    tcb_pool_.Put(t);
+    return nullptr;
+  }
+  return t;
+}
+
+void StackPool::Free(Tcb* t) {
+  FSUP_CHECK(TcbValid(t));
+  void* stack = t->stack_base;
+  const size_t mapped = t->stack_size;
+  const bool recycle = t->stack_pooled && free_count_ < kMaxPooledStacks;
+
+  t->magic = 0;
+  t->~Tcb();
+  tcb_pool_.Put(t);
+
+  if (stack == nullptr) {
+    return;  // the main thread's TCB has no library-owned stack
+  }
+  if (recycle) {
+    auto* fs = new (stack) FreeStack{free_head_, mapped};
+    free_head_ = fs;
+    ++free_count_;
+    return;
+  }
+  hostos::UnmapStack(stack, mapped);
+}
+
+bool StackPool::AddrInGuard(const void* addr, const Tcb* t) {
+  if (t == nullptr || t->stack_base == nullptr) {
+    return false;
+  }
+  return hostos::InGuardPage(addr, t->stack_base);
+}
+
+}  // namespace fsup

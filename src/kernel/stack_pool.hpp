@@ -1,0 +1,68 @@
+// Pool of pre-mapped thread stacks and TCBs.
+//
+// The paper: "Thread creation/termination involves allocation/deallocation of heap space which
+// sporadically may result in kernel calls to sbrk. This could be avoided in most cases by
+// preallocating a pool of thread control blocks and stacks" — and its Table 2 creation metric
+// is measured with the pool warm. This module is that pool: default-size stacks are recycled on
+// a free list (mmap'd once, guard page intact); odd-size requests bypass the pool.
+
+#ifndef FSUP_SRC_KERNEL_STACK_POOL_HPP_
+#define FSUP_SRC_KERNEL_STACK_POOL_HPP_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/kernel/tcb.hpp"
+#include "src/util/fixed_pool.hpp"
+
+namespace fsup {
+
+class StackPool {
+ public:
+  explicit StackPool(size_t precache = 8);
+  ~StackPool();
+
+  StackPool(const StackPool&) = delete;
+  StackPool& operator=(const StackPool&) = delete;
+
+  // Allocates a TCB with an attached stack of at least `stack_size` usable bytes. The TCB is
+  // default-constructed. Returns nullptr on mmap failure.
+  Tcb* Allocate(size_t stack_size);
+
+  // Allocates a TCB with no stack (lazy thread creation: the paper's future-work feature
+  // defers the expensive resource until the thread is needed).
+  Tcb* AllocateNoStack();
+
+  // Attaches a stack to a TCB created with AllocateNoStack. False on mmap failure.
+  bool AttachStack(Tcb* t, size_t stack_size);
+
+  // Destroys and recycles a TCB + stack obtained from Allocate().
+  void Free(Tcb* t);
+
+  // True if `addr` lies in the guard page of any pooled or live stack this pool issued whose
+  // usable base is `stack_base`.
+  static bool AddrInGuard(const void* addr, const Tcb* t);
+
+  size_t pooled_stacks() const { return free_count_; }
+  uint64_t stack_reuses() const { return stack_reuses_; }
+  uint64_t stack_maps() const { return stack_maps_; }
+
+ private:
+  struct FreeStack {
+    FreeStack* next;
+    size_t mapped_size;
+  };
+
+  void* TakePooledStack(size_t* size_out);
+
+  FixedPool<Tcb> tcb_pool_;
+  FreeStack* free_head_ = nullptr;
+  size_t free_count_ = 0;
+  size_t precache_target_;
+  uint64_t stack_reuses_ = 0;
+  uint64_t stack_maps_ = 0;
+};
+
+}  // namespace fsup
+
+#endif  // FSUP_SRC_KERNEL_STACK_POOL_HPP_

@@ -1,0 +1,41 @@
+#include "src/kernel/tcb.hpp"
+
+namespace fsup {
+
+const char* ToString(ThreadState s) {
+  switch (s) {
+    case ThreadState::kReady:
+      return "ready";
+    case ThreadState::kRunning:
+      return "running";
+    case ThreadState::kBlocked:
+      return "blocked";
+    case ThreadState::kTerminated:
+      return "terminated";
+  }
+  return "?";
+}
+
+const char* ToString(BlockReason r) {
+  switch (r) {
+    case BlockReason::kNone:
+      return "none";
+    case BlockReason::kMutex:
+      return "mutex";
+    case BlockReason::kCond:
+      return "cond";
+    case BlockReason::kJoin:
+      return "join";
+    case BlockReason::kSigwait:
+      return "sigwait";
+    case BlockReason::kDelay:
+      return "delay";
+    case BlockReason::kIo:
+      return "io";
+    case BlockReason::kLazy:
+      return "lazy";
+  }
+  return "?";
+}
+
+}  // namespace fsup

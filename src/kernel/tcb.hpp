@@ -1,0 +1,168 @@
+// The thread control block (TCB).
+//
+// One TCB per thread, pooled together with its stack (the paper pre-caches both to cut the 70%
+// of creation time SunOS spent in the allocator). All scheduler queues link through nodes
+// embedded here; the kernel never allocates on scheduling paths.
+
+#ifndef FSUP_SRC_KERNEL_TCB_HPP_
+#define FSUP_SRC_KERNEL_TCB_HPP_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/arch/context.hpp"
+#include "src/kernel/types.hpp"
+#include "src/util/intrusive_list.hpp"
+
+namespace fsup {
+
+struct Mutex;
+struct Cond;
+struct Tcb;
+
+// A pending or armed per-thread timer. Each thread embeds two: one for blocking timeouts
+// (timedwait / delay / sigwait timeout) and one for pt_alarm. Linked into the kernel's
+// deadline-ordered timer list.
+struct TimerEntry {
+  ListNode link;
+  Tcb* owner = nullptr;
+  int64_t deadline_ns = 0;
+  bool armed = false;
+
+  enum class Kind : uint8_t { kBlockTimeout, kAlarm } kind = Kind::kBlockTimeout;
+};
+
+// Bookkeeping for one fake call in flight on a thread (paper Figure 3): which user handler to
+// run, the mask to restore afterwards, and whether a conditional wait has to be terminated by
+// re-acquiring its mutex first.
+struct FakeRec {
+  int signo = 0;
+  SigSet saved_mask = 0;
+  void (*handler)(int) = nullptr;
+  Mutex* reacquire_mutex = nullptr;
+  bool in_use = false;
+  // The handler targets the *running* thread: no frame is pushed; the record is drained by
+  // RunSelfHandlers() right after the kernel is exited (the live call frame plays the role of
+  // the fake one).
+  bool self_direct = false;
+};
+
+// Cleanup handlers are a per-thread stack of real function registrations — deliberately not
+// the lexical-scope macro pair the standard suggests (see the paper's language-independence
+// discussion).
+struct CleanupNode {
+  void (*fn)(void*) = nullptr;
+  void* arg = nullptr;
+  CleanupNode* next = nullptr;
+};
+
+struct Tcb {
+  // -- queue membership ------------------------------------------------------------------
+  ListNode link;      // ready queue or (exclusive) the wait queue of whatever blocks us
+  ListNode all_link;  // kernel's list of every live thread
+
+  uint32_t id = 0;
+  uint32_t magic = 0;  // kTcbMagic while alive; scrubbed on destruction
+  char name[16] = {};
+
+  // -- execution state -------------------------------------------------------------------
+  Context ctx;
+  ThreadState state = ThreadState::kReady;
+  BlockReason block_reason = BlockReason::kNone;
+  bool detached = false;
+  bool lazy = false;  // created with deferred activation; first reference activates it
+
+  // True while the thread's saved frame has a UNIX signal frame pending on top of it (it was
+  // preempted inside the universal signal handler). Dispatchers must block process signals
+  // before resuming such a thread — the paper's defence against unbounded stack growth.
+  bool interrupted_by_signal = false;
+
+  int prio = kDefaultPrio;       // current, possibly boosted by a mutex protocol
+  int base_prio = kDefaultPrio;  // as assigned by creation attributes / pt_setprio
+  SchedPolicy policy = SchedPolicy::kFifo;
+
+  // Ready-queue level this thread is queued on, or -1. Normally == prio, but the perverted
+  // policies park threads on the lowest occupied level regardless of priority.
+  int8_t queued_level = -1;
+
+  // -- stack -----------------------------------------------------------------------------
+  void* stack_base = nullptr;  // usable low address (guard page below)
+  size_t stack_size = 0;
+  bool stack_pooled = false;
+
+  ThreadEntry entry = nullptr;
+  void* entry_arg = nullptr;
+  void* retval = nullptr;
+
+  // Per-thread UNIX error number; swapped with the global errno at context switch, exactly as
+  // the paper swaps SPARC's global errno.
+  int err_no = 0;
+
+  // -- signals ---------------------------------------------------------------------------
+  SigSet sigmask = 0;   // blocked signals
+  SigSet pending = 0;   // signals pending on this thread
+  SigSet sigwait_set = 0;
+  int sigwait_received = 0;
+  FakeRec fake_recs[kMaxFakeRecs];
+
+  // Optional control redirection requested by a user handler (the Ada hook): applied by the
+  // fake-call wrapper after the handler returns.
+  void* redirect_env = nullptr;  // sigjmp_buf*
+  int redirect_val = 0;
+
+  // -- cancellation ----------------------------------------------------------------------
+  bool intr_enabled = true;  // pt_setintr: ENABLE / DISABLE
+  bool intr_async = false;   // pt_setintrtype: CONTROLLED / ASYNCHRONOUS
+
+  Interruptibility interruptibility() const {
+    if (!intr_enabled) {
+      return Interruptibility::kDisabled;
+    }
+    return intr_async ? Interruptibility::kAsynchronous : Interruptibility::kControlled;
+  }
+
+  // -- cleanup & TSD ---------------------------------------------------------------------
+  CleanupNode* cleanup_head = nullptr;
+  void* tsd[kMaxTsdKeys] = {};
+
+  // -- synchronization bookkeeping -------------------------------------------------------
+  Mutex* waiting_on_mutex = nullptr;
+  Cond* waiting_on_cond = nullptr;
+  Mutex* cond_mutex = nullptr;   // mutex to re-acquire when the conditional wait ends
+  bool cond_signalled = false;   // woken by pt_cond_signal/broadcast (vs timeout/interrupt)
+  bool cond_interrupted = false; // conditional wait terminated by a user signal handler
+  bool timed_out = false;
+
+  Mutex* owned_head = nullptr;  // singly linked list of held mutexes (inheritance search)
+
+  int srp_stack[kMaxCeilDepth] = {};  // saved priorities for the ceiling (SRP) protocol
+  int srp_depth = 0;
+
+  // -- join ------------------------------------------------------------------------------
+  IntrusiveList<Tcb, &Tcb::link> joiners;  // threads blocked joining on us
+  Tcb* join_target = nullptr;
+  bool join_satisfied = false;  // set by the target's exit, with join_result
+  void* join_result = nullptr;
+
+  // -- I/O -------------------------------------------------------------------------------
+  bool io_ready = false;  // set when the awaited fd became ready (vs EINTR wakeup)
+
+  // -- timers ----------------------------------------------------------------------------
+  TimerEntry block_timer;
+  TimerEntry alarm_timer;
+
+  // -- statistics ------------------------------------------------------------------------
+  uint64_t switches_in = 0;        // times this thread was dispatched
+  uint64_t signals_taken = 0;      // user handlers run on this thread
+
+  bool terminated() const { return state == ThreadState::kTerminated; }
+};
+
+inline constexpr uint32_t kTcbMagic = 0x7c6b5a49;
+
+// True if t looks like a live TCB created by this library (cheap validation on API entry).
+inline bool TcbValid(const Tcb* t) { return t != nullptr && t->magic == kTcbMagic; }
+
+}  // namespace fsup
+
+#endif  // FSUP_SRC_KERNEL_TCB_HPP_

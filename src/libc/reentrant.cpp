@@ -1,0 +1,143 @@
+#include "src/libc/reentrant.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/core/pthread.hpp"
+#include "src/sync/once.hpp"
+
+namespace fsup {
+namespace {
+
+// All per-thread libc state lives in one block behind one TSD key, allocated on first use
+// and reclaimed by the key's destructor at thread exit.
+struct LibcState {
+  char* strtok_save = nullptr;
+  char strerror_buf[128] = {};
+  unsigned long long rand_state = 0x853c49e6748fea9bull;
+  char time_buf[64] = {};
+  struct tm tm_buf = {};
+};
+
+pt_key_t g_key = -1;
+Once g_key_once;
+int g_live_blocks = 0;
+
+void DestroyState(void* p) {
+  delete static_cast<LibcState*>(p);
+  --g_live_blocks;
+}
+
+void InitKey() { pt_key_create(&g_key, &DestroyState); }
+
+LibcState* State() {
+  sync::OnceRun(&g_key_once, &InitKey);
+  auto* s = static_cast<LibcState*>(pt_getspecific(g_key));
+  if (s == nullptr) {
+    s = new LibcState();
+    ++g_live_blocks;
+    pt_setspecific(g_key, s);
+  }
+  return s;
+}
+
+}  // namespace
+
+char* pt_strtok(char* str, const char* delims) {
+  LibcState* s = State();
+  char* cursor = str != nullptr ? str : s->strtok_save;
+  if (cursor == nullptr) {
+    return nullptr;
+  }
+  cursor += std::strspn(cursor, delims);
+  if (*cursor == '\0') {
+    s->strtok_save = nullptr;
+    return nullptr;
+  }
+  char* token = cursor;
+  cursor += std::strcspn(cursor, delims);
+  if (*cursor != '\0') {
+    *cursor = '\0';
+    s->strtok_save = cursor + 1;
+  } else {
+    s->strtok_save = nullptr;
+  }
+  return token;
+}
+
+const char* pt_strerror(int err) {
+  LibcState* s = State();
+  // strerror_r: the GNU variant may return a static string; normalize into our buffer.
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  const char* msg = ::strerror_r(err, s->strerror_buf, sizeof(s->strerror_buf));
+  if (msg != s->strerror_buf) {
+    std::snprintf(s->strerror_buf, sizeof(s->strerror_buf), "%s", msg);
+  }
+#else
+  if (::strerror_r(err, s->strerror_buf, sizeof(s->strerror_buf)) != 0) {
+    std::snprintf(s->strerror_buf, sizeof(s->strerror_buf), "errno %d", err);
+  }
+#endif
+  return s->strerror_buf;
+}
+
+void pt_srand(unsigned seed) {
+  State()->rand_state = seed != 0 ? seed : 0x9e3779b97f4a7c15ull;
+}
+
+int pt_rand() {
+  // xorshift64*: small, fast, clearly per-thread.
+  unsigned long long& x = State()->rand_state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  return static_cast<int>((x * 0x2545f4914f6cdd1dull) >> 33) & 0x7fffffff;
+}
+
+const char* pt_asctime(const struct tm* t) {
+  LibcState* s = State();
+  if (::asctime_r(t, s->time_buf) == nullptr) {
+    return nullptr;
+  }
+  return s->time_buf;
+}
+
+const char* pt_ctime(const time_t* t) {
+  LibcState* s = State();
+  if (::ctime_r(t, s->time_buf) == nullptr) {
+    return nullptr;
+  }
+  return s->time_buf;
+}
+
+struct tm* pt_localtime(const time_t* t) {
+  LibcState* s = State();
+  return ::localtime_r(t, &s->tm_buf);
+}
+
+struct tm* pt_gmtime(const time_t* t) {
+  LibcState* s = State();
+  return ::gmtime_r(t, &s->tm_buf);
+}
+
+namespace libc_internal {
+
+int LiveStateBlocks() { return g_live_blocks; }
+
+void ResetForTesting() {
+  // Only the main thread is alive at pt_reinit time; free its block (the TSD key table is
+  // about to be wiped, which would orphan it) and re-arm lazy key creation.
+  if (g_key >= 0) {
+    void* mine = pt_getspecific(g_key);
+    if (mine != nullptr) {
+      DestroyState(mine);
+      pt_setspecific(g_key, nullptr);
+    }
+  }
+  g_key = -1;
+  g_key_once = Once{};
+}
+
+}  // namespace libc_internal
+
+}  // namespace fsup

@@ -1,0 +1,47 @@
+// Thread-safe C library shims (paper, "Future Work"):
+//
+//   "A major obstacle to the use of threads is to make C libraries reentrant for threads.
+//    Several library calls use global state information, some interfaces are non-reentrant
+//    ..." (citing Jones [13]).
+//
+// This module supplies reentrant replacements for the classic offenders, keeping their state
+// in thread-specific data so every fsup thread gets an independent instance. Each is a drop-in
+// for the non-reentrant libc call it names.
+
+#ifndef FSUP_SRC_LIBC_REENTRANT_HPP_
+#define FSUP_SRC_LIBC_REENTRANT_HPP_
+
+#include <cstddef>
+#include <ctime>
+
+namespace fsup {
+
+// strtok: per-thread tokenizer state instead of libc's hidden global.
+char* pt_strtok(char* str, const char* delims);
+
+// strerror: formats into a per-thread buffer; the pointer stays valid until the thread's
+// next pt_strerror call (never clobbered by other threads).
+const char* pt_strerror(int err);
+
+// rand/srand: a per-thread PRNG stream (deterministic per thread after pt_srand).
+void pt_srand(unsigned seed);
+int pt_rand();
+
+// asctime/ctime: per-thread result buffers.
+const char* pt_asctime(const struct tm* t);
+const char* pt_ctime(const time_t* t);
+
+// localtime/gmtime: per-thread struct tm.
+struct tm* pt_localtime(const time_t* t);
+struct tm* pt_gmtime(const time_t* t);
+
+namespace libc_internal {
+// Test hook: number of live per-thread state blocks (freed by TSD destructors at exit).
+int LiveStateBlocks();
+// Runtime-reset hook (pt_reinit): releases the calling thread's block and re-arms the key.
+void ResetForTesting();
+}  // namespace libc_internal
+
+}  // namespace fsup
+
+#endif  // FSUP_SRC_LIBC_REENTRANT_HPP_

@@ -1,0 +1,40 @@
+// Perverted scheduling (paper, "Perverted Scheduling: Testing and Debugging").
+//
+// Three deliberately non-conforming policies that force context switches at library operations
+// to simulate parallel execution on a uniprocessor, making ordering bugs reproducible:
+//
+//   Mutex switch      — on each successful mutex lock, the current thread moves to the tail of
+//                       its priority queue and the ready-queue head runs.
+//   RR-ordered switch — on each kernel exit, the current thread moves to the tail of the
+//                       *lowest* priority queue and the ready-queue head runs (priority
+//                       scheduling deliberately violated, as on a real multiprocessor).
+//   Random switch     — on each kernel exit a deterministic PRNG flips a coin; on heads the
+//                       current thread moves to the tail of the lowest priority queue and the
+//                       next thread is drawn at random from the whole ready set.
+
+#ifndef FSUP_SRC_SCHED_PERVERTED_HPP_
+#define FSUP_SRC_SCHED_PERVERTED_HPP_
+
+#include <cstdint>
+
+#include "src/kernel/types.hpp"
+
+namespace fsup::sched {
+
+// Applies the active policy's kernel-exit rule. Must be called with the kernel entered and the
+// current thread running. May requeue the current thread and set the dispatcher flag.
+void PervertedOnKernelExit();
+
+// Applies the mutex-switch rule after a successful lock. In kernel.
+void PervertedOnMutexLock();
+
+// Selects/returns the perverted "pick next randomly" request for the dispatcher; true at most
+// once per forced random switch.
+bool TakeRandomPickRequest();
+
+void SetPolicy(PervertedPolicy policy, uint64_t seed);
+PervertedPolicy Policy();
+
+}  // namespace fsup::sched
+
+#endif  // FSUP_SRC_SCHED_PERVERTED_HPP_

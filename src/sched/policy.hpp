@@ -1,0 +1,32 @@
+// Priority management.
+//
+// A thread's priority can change while it is running, ready, or blocked on a priority-ordered
+// wait queue (mutex or condition variable). ApplyPriority() is the single place that keeps the
+// queues consistent with the new value and propagates priority inheritance through chains of
+// mutex holders (a boosted thread that is itself blocked on an inheritance mutex boosts that
+// mutex's holder in turn).
+
+#ifndef FSUP_SRC_SCHED_POLICY_HPP_
+#define FSUP_SRC_SCHED_POLICY_HPP_
+
+#include "src/kernel/tcb.hpp"
+
+namespace fsup::sched {
+
+// Sets t's *current* priority, fixing up whatever queue t sits on. to_head controls where a
+// READY thread lands on its new level: protocol boosts/restores use head (the paper argues a
+// thread must not be penalized for a priority it did not choose); user-requested changes use
+// tail. Flags a dispatch when the change affects who should run. In kernel.
+void ApplyPriority(Tcb* t, int new_prio, bool to_head);
+
+// User-visible priority change (pt_setprio): sets the base priority and, unless a protocol
+// boost currently holds the thread higher, the current priority. In kernel.
+void SetBasePriority(Tcb* t, int prio);
+
+// Boosts every holder in the inheritance chain starting at `holder` to at least `prio`
+// (paper: priority inheritance protocol). In kernel.
+void BoostChain(Tcb* holder, int prio);
+
+}  // namespace fsup::sched
+
+#endif  // FSUP_SRC_SCHED_POLICY_HPP_

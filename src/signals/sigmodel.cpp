@@ -1,0 +1,198 @@
+#include "src/signals/sigmodel.hpp"
+
+#include <bit>
+#include <unistd.h>
+
+#include "src/cancel/cancel.hpp"
+#include "src/debug/trace.hpp"
+#include "src/hostos/unix_if.hpp"
+#include "src/signals/fake_call.hpp"
+#include "src/util/assert.hpp"
+
+namespace fsup::sig {
+namespace {
+
+// Signals whose default UNIX disposition is "ignore" — the model's action 6 applies even with
+// no explicit "ignore" disposition registered.
+constexpr SigSet kDefaultIgnored =
+    SigBit(SIGCHLD) | SigBit(SIGURG) | SigBit(SIGWINCH) | SigBit(SIGCONT);
+
+// Effective blocked set: a thread suspended in sigwait counts as having its sigwait set
+// unmasked (paper: "sigwait is just another case where the signal is unmasked").
+SigSet EffectiveMask(const Tcb* t) { return t->sigmask & ~t->sigwait_set; }
+
+int LowestSignal(SigSet set) { return std::countr_zero(set); }
+
+// Performs the UNIX default action for signo on the whole process (action step 7): reset the
+// OS disposition, unblock, re-raise. If the process survives (stop/continue signals), the
+// universal handler is reinstalled.
+void DefaultActionOnProcess(int signo) {
+  if (signo > 31) {
+    // Virtual-only signal with default disposition: treat as fatal to match UNIX semantics.
+    FatalError("unhandled virtual signal with default action", __FILE__, __LINE__);
+  }
+  struct sigaction dfl{};
+  dfl.sa_handler = SIG_DFL;
+  ::sigemptyset(&dfl.sa_mask);
+  hostos::Sigaction(signo, &dfl, nullptr);
+
+  sigset_t just;
+  ::sigemptyset(&just);
+  ::sigaddset(&just, signo);
+  hostos::Sigprocmask(SIG_UNBLOCK, &just, nullptr);
+  hostos::Kill(::getpid(), signo);
+  // Fatal signals do not return. Stop signals resume here on SIGCONT:
+  InstallOsHandlers();
+}
+
+}  // namespace
+
+void DeliverToThread(Tcb* t, int signo) {
+  FSUP_ASSERT(kernel::InKernel());
+  FSUP_ASSERT(signo > 0 && signo <= kMaxSignal);
+  KernelState& k = kernel::ks();
+  const SigSet bit = SigBit(signo);
+
+  // Action 1: the thread masks the signal — pend it on the thread.
+  if ((EffectiveMask(t) & bit) != 0) {
+    t->pending |= bit;
+    return;
+  }
+
+  // Action 2 (alarm caused by a timer expiration) is taken on the timer paths directly — see
+  // OnTimerTick(): sleepers become ready; a slice expiry repositions the running thread at
+  // the tail of its ready queue.
+
+  // Action 3: the thread is suspended in sigwait and the signal is in its wait set.
+  if (t->state == ThreadState::kBlocked && t->block_reason == BlockReason::kSigwait &&
+      (t->sigwait_set & bit) != 0) {
+    t->sigwait_received = signo;
+    kernel::MakeReady(t);
+    return;
+  }
+
+  // Action 4: a user handler is registered — install a fake call at the thread's priority.
+  const VSigAction& a = k.actions[signo];
+  if (signo != kSigCancel && a.installed && a.handler != nullptr) {
+    FakeCallUserHandler(t, signo, a);
+    return;
+  }
+
+  // Action 5: the cancellation signal.
+  if (signo == kSigCancel) {
+    cancel::CancelAction(t);
+    return;
+  }
+
+  // Action 6: disposition is "ignore".
+  if ((a.installed && a.ignore) || (!a.installed && (kDefaultIgnored & bit) != 0)) {
+    return;
+  }
+
+  // Action 7: default action on the process.
+  DefaultActionOnProcess(signo);
+}
+
+void DeliverToProcess(int signo, Cause cause, Tcb* hint) {
+  FSUP_ASSERT(kernel::InKernel());
+  KernelState& k = kernel::ks();
+  const SigSet bit = SigBit(signo);
+
+  // Steps 1-4: directed, synchronous, timer, and I/O causes name their thread.
+  switch (cause) {
+    case Cause::kDirected:
+    case Cause::kTimer:
+    case Cause::kIo:
+      FSUP_ASSERT(hint != nullptr);
+      DeliverToThread(hint, signo);
+      return;
+    case Cause::kSynchronous:
+      DeliverToThread(k.current, signo);
+      return;
+    case Cause::kExternal:
+      break;
+  }
+
+  // Step 5: linear search of all threads for one with the signal unmasked.
+  for (Tcb* t : k.all_threads) {
+    if (t->state == ThreadState::kTerminated) {
+      continue;
+    }
+    if ((EffectiveMask(t) & bit) == 0) {
+      DeliverToThread(t, signo);
+      return;
+    }
+  }
+
+  // Step 6: pend the signal at the process level until a thread becomes eligible.
+  k.process_pending |= bit;
+}
+
+void CheckPendingAfterUnmask(Tcb* t) {
+  FSUP_ASSERT(kernel::InKernel());
+  KernelState& k = kernel::ks();
+  for (;;) {
+    SigSet deliverable = t->pending & ~EffectiveMask(t);
+    if (deliverable != 0) {
+      const int s = LowestSignal(deliverable);
+      t->pending &= ~SigBit(s);
+      DeliverToThread(t, s);
+      continue;
+    }
+    deliverable = k.process_pending & ~EffectiveMask(t);
+    if (deliverable != 0) {
+      const int s = LowestSignal(deliverable);
+      k.process_pending &= ~SigBit(s);
+      DeliverToThread(t, s);
+      continue;
+    }
+    return;
+  }
+}
+
+void HandleDeferred(SigSet set) {
+  FSUP_ASSERT(kernel::InKernel());
+  while (set != 0) {
+    const int s = LowestSignal(set);
+    set &= ~SigBit(s);
+    if (s == SIGALRM) {
+      OnTimerTick();
+    } else {
+      DeliverToProcess(s, Cause::kExternal, nullptr);
+    }
+  }
+}
+
+bool ExternalWakeupPossible() {
+  KernelState& k = kernel::ks();
+  for (Tcb* t : k.all_threads) {
+    if (t->state == ThreadState::kBlocked && t->block_reason == BlockReason::kSigwait) {
+      return true;
+    }
+  }
+  for (const VSigAction& a : k.actions) {
+    if (a.installed && a.handler != nullptr) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void BlockAllOsSignals() {
+  sigset_t all;
+  ::sigfillset(&all);
+  hostos::Sigprocmask(SIG_SETMASK, &all, nullptr);
+}
+
+void UnblockAllOsSignals() {
+  sigset_t none;
+  ::sigemptyset(&none);
+  hostos::Sigprocmask(SIG_SETMASK, &none, nullptr);
+}
+
+void ForgetThread(Tcb* t) {
+  CancelBlockTimer(t);
+  CancelAlarm(t);
+}
+
+}  // namespace fsup::sig

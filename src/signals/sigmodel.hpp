@@ -1,0 +1,105 @@
+// The signal delivery model (paper, "Signal Handling").
+//
+// Two-stage model, reproduced step for step:
+//
+// Recipient selection (highest precedence first):
+//   1. signal directed at a specific thread         → that thread
+//   2. synchronous signal                           → the thread that caused it
+//   3. timer expiration                             → the thread that armed the timer
+//   4. I/O completion                               → the thread that requested the I/O
+//   5. any thread with the signal unmasked          → first such thread (linear search,
+//                                                     sigwait counts as unmasked)
+//   6. otherwise                                    → pend at the process level
+//
+// Action selection for the recipient (highest precedence first):
+//   1. thread masks the signal                      → pend on the thread
+//   2. alarm from a timer expiration                → wake the sleeper / re-slice
+//   3. thread suspended in sigwait                  → wake it, mask the sigwait set
+//   4. a user handler is registered                 → fake call, mask per sigaction
+//   5. the cancellation signal                      → fake call to pt_exit
+//   6. disposition "ignore"                         → discard
+//   7. default                                      → default action on the process
+//
+// All functions here must be called with the Pthreads kernel entered unless noted.
+
+#ifndef FSUP_SRC_SIGNALS_SIGMODEL_HPP_
+#define FSUP_SRC_SIGNALS_SIGMODEL_HPP_
+
+#include <cstdint>
+
+#include "src/kernel/kernel.hpp"
+#include "src/kernel/tcb.hpp"
+#include "src/kernel/types.hpp"
+
+namespace fsup::sig {
+
+enum class Cause : uint8_t {
+  kExternal,     // asynchronous process-level signal
+  kSynchronous,  // fault caused by the current thread (SIGSEGV, SIGFPE, ...)
+  kTimer,        // expiration of a timer armed by some thread
+  kIo,           // completion of I/O requested by some thread
+  kDirected,     // pt_kill: explicitly aimed at one thread
+};
+
+// Stage 1: find a recipient for a process-level signal and run stage 2 on it, or pend the
+// signal at the process level. `hint` names the causing/armoring/directed thread for causes
+// that have one.
+void DeliverToProcess(int signo, Cause cause, Tcb* hint);
+
+// Stage 2: take the action for `signo` on thread `t`.
+void DeliverToThread(Tcb* t, int signo);
+
+// Re-examines thread + process pending sets after t's mask opened up (pt_sigmask, handler
+// return, sigwait re-mask) and delivers anything now deliverable.
+void CheckPendingAfterUnmask(Tcb* t);
+
+// Replays signals the universal handler logged while the kernel flag was set.
+void HandleDeferred(SigSet set);
+
+// Dispatcher hook: called when `next` is about to be switched to (arms the RR slice).
+void OnDispatch(Tcb* next);
+
+// True if a thread blocked in sigwait or an installed user handler could ever consume an
+// external signal — used by the idle loop's deadlock detection.
+bool ExternalWakeupPossible();
+
+// OS mask helpers (the paper's two sigsetmask calls per delivered signal).
+void BlockAllOsSignals();
+void UnblockAllOsSignals();
+
+// Installs/uninstalls the process-level universal handler for all maskable signals.
+void InstallOsHandlers();
+void UninstallOsHandlers();
+
+// pt_sigaction backing: registers a per-thread-deliverable user handler (or "ignore") for a
+// virtual signal. handler == nullptr with ignore == false restores the default disposition.
+// Call outside the kernel.
+int SetAction(int signo, void (*handler)(int), SigSet mask, bool ignore, VSigAction* old);
+
+// -- timers ------------------------------------------------------------------------------
+
+// Arms t's blocking timeout / alarm for an absolute CLOCK_MONOTONIC deadline.
+void ArmBlockTimer(Tcb* t, int64_t deadline_ns);
+void CancelBlockTimer(Tcb* t);
+void ArmAlarm(Tcb* t, int64_t deadline_ns);
+void CancelAlarm(Tcb* t);
+
+// Fires every due timer (SIGALRM path and idle-loop timeout path). In kernel.
+void OnTimerTick();
+
+// Earliest pending deadline (timers + RR slice), or -1 if none. In kernel.
+int64_t NextDeadlineNs();
+
+// Reprograms the interval timer from the current timer list + slice state. In kernel.
+void ProgramItimer();
+
+// Enables/disables SCHED_RR time slicing with the given quantum.
+void EnableTimeSlice(int64_t slice_us);
+void DisableTimeSlice();
+
+// Removes t from every signal/timer structure (thread reap / runtime reset).
+void ForgetThread(Tcb* t);
+
+}  // namespace fsup::sig
+
+#endif  // FSUP_SRC_SIGNALS_SIGMODEL_HPP_

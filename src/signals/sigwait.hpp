@@ -1,0 +1,17 @@
+#ifndef FSUP_SRC_SIGNALS_SIGWAIT_HPP_
+#define FSUP_SRC_SIGNALS_SIGWAIT_HPP_
+
+#include <cstdint>
+
+#include "src/kernel/types.hpp"
+
+namespace fsup::sig {
+
+// Waits for one of `set` to be delivered; stores it in *signo_out. deadline_ns < 0 waits
+// forever; otherwise returns EAGAIN past the absolute CLOCK_MONOTONIC deadline. On return the
+// wait set is masked for the thread (draft-6 semantics the paper implements).
+int SigwaitInternal(SigSet set, int* signo_out, int64_t deadline_ns);
+
+}  // namespace fsup::sig
+
+#endif  // FSUP_SRC_SIGNALS_SIGWAIT_HPP_

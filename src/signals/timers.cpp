@@ -1,0 +1,186 @@
+// Per-thread timers multiplexed onto one UNIX interval timer.
+//
+// Threads arm block timeouts (timed conditional waits, pt_delay) and alarms (pt_alarm); the
+// kernel keeps one deadline-ordered list and programs ITIMER_REAL for the earliest deadline
+// (including the round-robin slice). The resulting SIGALRM enters through the universal
+// handler; expirations are taken in the kernel on the tick path, which is also invoked from
+// the idle loop's timeout so a missing/coalesced signal cannot strand a sleeper.
+//
+// Delivery follows the paper: a timer expiration directs SIGALRM "at the thread which armed
+// the timer" (recipient rule 3); the action (model action 2) readies a suspended sleeper, or
+// repositions the running thread at the tail of its queue when the expiration was caused by
+// time slicing.
+
+#include "src/debug/trace.hpp"
+#include "src/hostos/unix_if.hpp"
+#include "src/kernel/kernel.hpp"
+#include "src/signals/fake_call.hpp"
+#include "src/signals/sigmodel.hpp"
+#include "src/util/assert.hpp"
+#include "src/util/dual_loop_timer.hpp"
+
+namespace fsup::sig {
+namespace {
+
+void InsertSorted(KernelState& k, TimerEntry* e) {
+  for (TimerEntry* at : k.timers) {
+    if (at->deadline_ns > e->deadline_ns) {
+      k.timers.InsertBefore(at, e);
+      return;
+    }
+  }
+  k.timers.PushBack(e);
+}
+
+void Arm(TimerEntry* e, Tcb* t, int64_t deadline_ns, TimerEntry::Kind kind) {
+  FSUP_ASSERT(kernel::InKernel());
+  KernelState& k = kernel::ks();
+  if (e->armed) {
+    e->link.Unlink();
+  }
+  e->owner = t;
+  e->deadline_ns = deadline_ns;
+  e->kind = kind;
+  e->armed = true;
+  InsertSorted(k, e);
+  ProgramItimer();
+}
+
+void Cancel(TimerEntry* e) {
+  if (!e->armed) {
+    return;
+  }
+  e->armed = false;
+  e->link.Unlink();
+  // Leaving the interval timer programmed for a cancelled deadline is harmless: the tick
+  // handler finds nothing due and reprograms. Avoiding the common disarm/rearm churn matters
+  // more (timed waits usually complete before their deadline).
+}
+
+}  // namespace
+
+void ArmBlockTimer(Tcb* t, int64_t deadline_ns) {
+  Arm(&t->block_timer, t, deadline_ns, TimerEntry::Kind::kBlockTimeout);
+}
+
+void CancelBlockTimer(Tcb* t) { Cancel(&t->block_timer); }
+
+void ArmAlarm(Tcb* t, int64_t deadline_ns) {
+  Arm(&t->alarm_timer, t, deadline_ns, TimerEntry::Kind::kAlarm);
+}
+
+void CancelAlarm(Tcb* t) { Cancel(&t->alarm_timer); }
+
+int64_t NextDeadlineNs() {
+  KernelState& k = kernel::ks();
+  int64_t next = -1;
+  TimerEntry* head = k.timers.Front();
+  if (head != nullptr) {
+    next = head->deadline_ns;
+  }
+  if (k.slice_armed && (next < 0 || k.slice_deadline_ns < next)) {
+    next = k.slice_deadline_ns;
+  }
+  return next;
+}
+
+void ProgramItimer() {
+  FSUP_ASSERT(kernel::InKernel());
+  KernelState& k = kernel::ks();
+  const int64_t next = NextDeadlineNs();
+  if (next == k.itimer_deadline_ns) {
+    return;
+  }
+  itimerval v{};
+  if (next >= 0) {
+    const int64_t now = NowNs();
+    int64_t delta = next - now;
+    if (delta < 1000) {
+      delta = 1000;  // fire "immediately", but strictly in the future
+    }
+    v.it_value.tv_sec = delta / 1000000000;
+    v.it_value.tv_usec = (delta % 1000000000) / 1000;
+  }
+  hostos::Setitimer(ITIMER_REAL, &v, nullptr);
+  k.itimer_deadline_ns = next;
+}
+
+void OnTimerTick() {
+  FSUP_ASSERT(kernel::InKernel());
+  KernelState& k = kernel::ks();
+  k.itimer_deadline_ns = -1;  // the programmed shot has fired (or we are past it)
+  const int64_t now = NowNs();
+
+  for (;;) {
+    TimerEntry* head = k.timers.Front();
+    if (head == nullptr || head->deadline_ns > now) {
+      break;
+    }
+    head->link.Unlink();
+    head->armed = false;
+    Tcb* t = head->owner;
+    if (head->kind == TimerEntry::Kind::kBlockTimeout) {
+      // Model action 2, sleeper half: "the selected thread becomes ready if it was suspended".
+      if (t->state == ThreadState::kBlocked) {
+        t->timed_out = true;
+        DetachFromWaitQueue(t);
+        kernel::MakeReady(t);
+      }
+    } else {
+      // pt_alarm: a real SIGALRM for the arming thread, through the full action model
+      // (masked → pends; handler → fake call; default → process action).
+      DeliverToThread(t, SIGALRM);
+    }
+  }
+
+  // Model action 2, slicing half: reposition the running thread at the tail of its queue.
+  if (k.slice_armed && now >= k.slice_deadline_ns) {
+    k.slice_armed = false;
+    Tcb* cur = k.current;
+    if (cur != nullptr && cur->state == ThreadState::kRunning &&
+        cur->policy == SchedPolicy::kRr && !k.ready.empty()) {
+      cur->state = ThreadState::kReady;
+      k.ready.PushBack(cur);
+      k.dispatch_pending = 1;
+    }
+  }
+
+  ProgramItimer();
+}
+
+void OnDispatch(Tcb* next) {
+  KernelState& k = kernel::ks();
+  if (!k.slice_enabled) {
+    return;
+  }
+  if (next->policy == SchedPolicy::kRr) {
+    k.slice_deadline_ns = NowNs() + k.slice_us * 1000;
+    k.slice_armed = true;
+    ProgramItimer();
+  } else if (k.slice_armed) {
+    k.slice_armed = false;
+    ProgramItimer();
+  }
+}
+
+void EnableTimeSlice(int64_t slice_us) {
+  kernel::EnsureInit();
+  kernel::Enter();
+  KernelState& k = kernel::ks();
+  k.slice_enabled = true;
+  k.slice_us = slice_us > 0 ? slice_us : kDefaultSliceUs;
+  OnDispatch(k.current);
+  kernel::Exit();
+}
+
+void DisableTimeSlice() {
+  kernel::EnsureInit();
+  kernel::Enter();
+  KernelState& k = kernel::ks();
+  k.slice_enabled = false;
+  k.slice_armed = false;
+  ProgramItimer();
+  kernel::Exit();
+}
+
+}  // namespace fsup::sig

@@ -1,0 +1,230 @@
+// The universal signal handler (paper, "Signal Delivery").
+//
+// One process-level handler is installed for every maskable UNIX signal. Its behaviour splits
+// on the kernel flag:
+//
+//   in the kernel      — log the signal and set the dispatcher flag; it is replayed when the
+//                        dispatcher runs (Figure 2). One store, no syscalls.
+//   outside the kernel — enter the kernel, re-enable all signals (sigprocmask call #1 of the
+//                        paper's two), run the delivery model, and invoke the dispatcher —
+//                        which may switch away, leaving this handler frame pending on the
+//                        interrupted thread's stack until the thread is re-dispatched (with
+//                        signals blocked: call #2, in the dispatcher). Returning performs the
+//                        kernel's sigreturn, restoring the pre-signal register state and mask.
+//
+// The handler also implements the restartable-atomic-sequence contract: if it interrupted a
+// registered sequence, the saved program counter is rewound to the sequence start before
+// anything else can run.
+
+#include <csignal>
+#include <cerrno>
+#include <ucontext.h>
+#include <unistd.h>
+
+#include "src/arch/ras.hpp"
+#include "src/debug/introspect.hpp"
+#include "src/hostos/unix_if.hpp"
+#include "src/kernel/kernel.hpp"
+#include "src/signals/fake_call.hpp"
+#include "src/signals/sigmodel.hpp"
+#include "src/util/assert.hpp"
+#include "src/util/log.hpp"
+
+namespace fsup::sig {
+namespace {
+
+// Asynchronous signals claimed by the universal handler. SIGKILL/SIGSTOP cannot be caught;
+// SIGABRT stays with the runtime so FSUP_CHECK failures abort cleanly; synchronous faults get
+// the dedicated handler below; SIGCONT's default is to do nothing catchable.
+constexpr int kClaimedSignals[] = {
+    SIGHUP,  SIGINT,  SIGQUIT, SIGUSR1, SIGUSR2,  SIGPIPE, SIGALRM, SIGTERM,
+    SIGCHLD, SIGTSTP, SIGTTIN, SIGTTOU, SIGURG,   SIGXCPU, SIGXFSZ, SIGVTALRM,
+    SIGPROF, SIGWINCH, SIGIO,  SIGPWR,
+};
+
+constexpr int kSyncSignals[] = {SIGILL, SIGFPE, SIGSEGV, SIGBUS, SIGSYS};
+
+struct sigaction g_saved_actions[kMaxSignal + 1];
+bool g_installed = false;
+
+alignas(16) unsigned char g_alt_stack[64 * 1024];
+
+void UniversalHandler(int signo, siginfo_t* info, void* ucv) {
+  (void)info;
+  auto* uc = static_cast<ucontext_t*>(ucv);
+
+  // Restartable atomic sequences: rewind an interrupted sequence to its start.
+  auto pc = static_cast<uintptr_t>(uc->uc_mcontext.gregs[REG_RIP]);
+  if (ras::RewindIfInside(&pc)) {
+    uc->uc_mcontext.gregs[REG_RIP] = static_cast<greg_t>(pc);
+  }
+
+  KernelState& k = kernel::ks();
+  if (!k.initialized) {
+    return;
+  }
+
+  if (k.in_kernel != 0) {
+    // Defer: log the signal; the dispatcher replays it (Figure 2).
+    k.sigs_caught_in_kernel.fetch_or(SigBit(signo), std::memory_order_relaxed);
+    k.dispatch_pending = 1;
+    ++k.deferred_signals;
+    return;
+  }
+
+  const int saved_errno = errno;
+
+  k.in_kernel = 1;
+  ++k.kernel_entries;
+  Tcb* self = k.current;
+  self->interrupted_by_signal = true;
+
+  // Paper's sigsetmask call #1: with the kernel flag protecting us, all signals re-enable.
+  UnblockAllOsSignals();
+
+  if (signo == SIGALRM) {
+    OnTimerTick();
+  } else {
+    DeliverToProcess(signo, Cause::kExternal, nullptr);
+  }
+
+  // May switch to another thread; if so, this frame stays pending on self's stack and we
+  // resume here when self is next dispatched (with OS signals blocked by the dispatcher).
+  kernel::Dispatch();
+
+  self->interrupted_by_signal = false;
+
+  if (SelfHandlersPending()) {
+    // The delivery chose the interrupted thread itself: run the user handler now, at this
+    // thread's priority, under the live signal frame (Figure 3's "same thread" case). Make
+    // sure it runs preemptible even on the resumed-with-signals-blocked path.
+    UnblockAllOsSignals();
+    RunSelfHandlers();
+  }
+
+  errno = saved_errno;
+  // sigreturn restores the interrupted register state and the pre-signal mask.
+}
+
+void SyncHandler(int signo, siginfo_t* info, void* ucv) {
+  auto* uc = static_cast<ucontext_t*>(ucv);
+  auto pc = static_cast<uintptr_t>(uc->uc_mcontext.gregs[REG_RIP]);
+  if (ras::RewindIfInside(&pc)) {
+    // A fault inside a registered sequence is a library bug, not a preemption.
+    FatalError("fault inside restartable atomic sequence", __FILE__, __LINE__);
+  }
+
+  KernelState& k = kernel::ks();
+
+  // Stack overflow detection: a fault in some thread's guard page.
+  if (signo == SIGSEGV && info != nullptr) {
+    for (Tcb* t : k.all_threads) {
+      if (t->stack_base != nullptr && hostos::InGuardPage(info->si_addr, t->stack_base)) {
+        log::RawWriteCstr("fsup fatal: stack overflow in thread ");
+        log::RawWriteInt(t->id);
+        log::RawWriteCstr("\n");
+        debug::DumpThreads();
+        ::abort();
+      }
+    }
+  }
+
+  if (k.in_kernel != 0) {
+    debug::DumpThreads();
+    FatalError("synchronous fault inside the Pthreads kernel", __FILE__, __LINE__);
+  }
+
+  // Synchronous delivery to the causing thread (recipient rule 2). A registered user handler
+  // runs immediately — it may pt_handler_redirect / siglongjmp out (the Ada exception path);
+  // if it returns, the faulting instruction re-executes.
+  const VSigAction& a = k.actions[signo];
+  if (a.installed && a.handler != nullptr) {
+    Tcb* self = k.current;
+    const SigSet saved = self->sigmask;
+    self->sigmask |= a.mask | SigBit(signo);
+    ++self->signals_taken;
+    a.handler(signo);
+    self->sigmask = saved;
+    ApplyRedirectIfAny();
+    return;
+  }
+  if (a.installed && a.ignore) {
+    return;
+  }
+
+  // Default: uninstall and re-raise for the kernel's default action (core dump etc.).
+  struct sigaction dfl{};
+  dfl.sa_handler = SIG_DFL;
+  ::sigemptyset(&dfl.sa_mask);
+  hostos::Sigaction(signo, &dfl, nullptr);
+}
+
+}  // namespace
+
+void InstallOsHandlers() {
+  KernelState& k = kernel::ks();
+
+  stack_t ss{};
+  ss.ss_sp = g_alt_stack;
+  ss.ss_size = sizeof(g_alt_stack);
+  hostos::SigaltStack(&ss, nullptr);
+
+  struct sigaction sa{};
+  sa.sa_sigaction = &UniversalHandler;
+  ::sigfillset(&sa.sa_mask);
+  sa.sa_flags = SA_SIGINFO;
+  for (int signo : kClaimedSignals) {
+    hostos::Sigaction(signo, &sa, g_installed ? nullptr : &g_saved_actions[signo]);
+  }
+
+  struct sigaction sync{};
+  sync.sa_sigaction = &SyncHandler;
+  ::sigfillset(&sync.sa_mask);
+  sync.sa_flags = SA_SIGINFO | SA_ONSTACK | SA_NODEFER;
+  for (int signo : kSyncSignals) {
+    hostos::Sigaction(signo, &sync, g_installed ? nullptr : &g_saved_actions[signo]);
+  }
+
+  k.os_handlers_installed = true;
+  g_installed = true;
+}
+
+void UninstallOsHandlers() {
+  if (!g_installed) {
+    return;
+  }
+  for (int signo : kClaimedSignals) {
+    hostos::Sigaction(signo, &g_saved_actions[signo], nullptr);
+  }
+  for (int signo : kSyncSignals) {
+    hostos::Sigaction(signo, &g_saved_actions[signo], nullptr);
+  }
+  g_installed = false;
+  kernel::ks().os_handlers_installed = false;
+}
+
+int SetAction(int signo, void (*handler)(int), SigSet mask, bool ignore, VSigAction* old) {
+  kernel::EnsureInit();
+  if (signo <= 0 || signo > kMaxSignal || signo == kSigCancel || signo == SIGKILL ||
+      signo == SIGSTOP) {
+    return EINVAL;
+  }
+  kernel::Enter();
+  KernelState& k = kernel::ks();
+  if (old != nullptr) {
+    *old = k.actions[signo];
+  }
+  VSigAction& a = k.actions[signo];
+  if (handler == nullptr && !ignore) {
+    a = VSigAction{};  // back to default disposition
+  } else {
+    a.handler = handler;
+    a.mask = mask;
+    a.ignore = ignore;
+    a.installed = true;
+  }
+  kernel::Exit();
+  return 0;
+}
+
+}  // namespace fsup::sig

@@ -1,0 +1,61 @@
+#include "src/sync/barrier.hpp"
+
+#include <cerrno>
+#include <new>
+
+namespace fsup::sync {
+
+int BarrierInit(Barrier* b, int count) {
+  if (b == nullptr || count <= 0) {
+    return EINVAL;
+  }
+  new (b) Barrier();
+  int rc = MutexInit(&b->m, nullptr);
+  if (rc == 0) {
+    rc = CondInit(&b->cv);
+  }
+  if (rc == 0) {
+    b->threshold = count;
+    b->magic = kBarrierMagic;
+  }
+  return rc;
+}
+
+int BarrierDestroy(Barrier* b) {
+  if (b == nullptr || b->magic != kBarrierMagic) {
+    return EINVAL;
+  }
+  if (b->waiting > 0) {
+    return EBUSY;
+  }
+  b->magic = 0;
+  CondDestroy(&b->cv);
+  return MutexDestroy(&b->m);
+}
+
+int BarrierWait(Barrier* b) {
+  if (b == nullptr || b->magic != kBarrierMagic) {
+    return EINVAL;
+  }
+  int rc = MutexLock(&b->m);
+  if (rc != 0) {
+    return rc;
+  }
+  const uint64_t gen = b->generation;
+  if (++b->waiting == b->threshold) {
+    b->waiting = 0;
+    ++b->generation;
+    CondBroadcast(&b->cv);
+    MutexUnlock(&b->m);
+    return kBarrierSerialThread;
+  }
+  while (gen == b->generation) {
+    rc = CondWait(&b->cv, &b->m, -1);
+    if (rc != 0 && rc != EINTR) {  // EINTR: handler ran, mutex re-held — re-test predicate
+      return rc;
+    }
+  }
+  return MutexUnlock(&b->m);
+}
+
+}  // namespace fsup::sync

@@ -1,0 +1,39 @@
+// Cyclic barriers on mutex + condition variable (extension; POSIX 1003.1j). Generation
+// counting makes the barrier reusable and immune to spurious wakeups.
+
+#ifndef FSUP_SRC_SYNC_BARRIER_HPP_
+#define FSUP_SRC_SYNC_BARRIER_HPP_
+
+#include <cstdint>
+
+#include "src/sync/cond.hpp"
+#include "src/sync/mutex.hpp"
+
+namespace fsup {
+
+inline constexpr uint32_t kBarrierMagic = 0x62617272;  // "barr"
+
+// Returned by BarrierWait to exactly one waiter per cycle (PTHREAD_BARRIER_SERIAL_THREAD).
+inline constexpr int kBarrierSerialThread = -2;
+
+struct Barrier {
+  uint32_t magic = 0;
+  Mutex m;
+  Cond cv;
+  int threshold = 0;
+  int waiting = 0;
+  uint64_t generation = 0;
+};
+
+namespace sync {
+
+int BarrierInit(Barrier* b, int count);
+int BarrierDestroy(Barrier* b);
+
+// Returns kBarrierSerialThread for the releasing thread, 0 for the others, errno on error.
+int BarrierWait(Barrier* b);
+
+}  // namespace sync
+}  // namespace fsup
+
+#endif  // FSUP_SRC_SYNC_BARRIER_HPP_

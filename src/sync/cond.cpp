@@ -1,0 +1,154 @@
+#include "src/sync/cond.hpp"
+
+#include <cerrno>
+#include <new>
+
+#include "src/cancel/cancel.hpp"
+#include "src/kernel/kernel.hpp"
+#include "src/signals/sigmodel.hpp"
+#include "src/util/assert.hpp"
+
+namespace fsup::sync {
+namespace {
+
+uint32_t g_next_tag = 1;
+
+void InsertCondWaiterByPrio(Cond* c, Tcb* t) {
+  for (Tcb* w : c->waiters) {
+    if (w->prio < t->prio) {
+      c->waiters.InsertBefore(w, t);
+      return;
+    }
+  }
+  c->waiters.PushBack(t);
+}
+
+}  // namespace
+
+int CondInit(Cond* c) {
+  kernel::EnsureInit();
+  if (c == nullptr) {
+    return EINVAL;
+  }
+  new (c) Cond();
+  c->magic = kCondMagic;
+  c->tag = g_next_tag++;
+  return 0;
+}
+
+int CondDestroy(Cond* c) {
+  if (c == nullptr || c->magic != kCondMagic) {
+    return EINVAL;
+  }
+  kernel::Enter();
+  if (!c->waiters.empty()) {
+    kernel::Exit();
+    return EBUSY;
+  }
+  c->magic = 0;
+  kernel::Exit();
+  return 0;
+}
+
+int CondWait(Cond* c, Mutex* m, int64_t deadline_ns) {
+  kernel::EnsureInit();
+  if (c == nullptr || c->magic != kCondMagic || m == nullptr || m->magic != kMutexMagic) {
+    return EINVAL;
+  }
+  Tcb* self = kernel::Current();
+
+  kernel::Enter();
+  if (m->holder() != self) {
+    kernel::Exit();
+    return EPERM;
+  }
+
+  // Conditional waits are interruption points: act on a pending cancellation before blocking
+  // (the mutex is still held, so cleanup handlers see a deterministic state).
+  cancel::TestIntrInKernel();
+
+  // Atomic with the suspension: unlock (full protocol semantics, possible handoff) and queue.
+  UnlockInKernel(m, self);
+  InsertCondWaiterByPrio(c, self);
+  self->waiting_on_cond = c;
+  self->cond_mutex = m;
+  self->cond_signalled = false;
+  self->cond_interrupted = false;
+  self->timed_out = false;
+  if (deadline_ns >= 0) {
+    sig::ArmBlockTimer(self, deadline_ns);
+  }
+
+  kernel::Suspend(BlockReason::kCond);
+
+  if (deadline_ns >= 0) {
+    sig::CancelBlockTimer(self);
+  }
+  self->waiting_on_cond = nullptr;
+
+  int rc = 0;
+  bool relock = true;
+  if (self->cond_interrupted) {
+    // A user signal handler ran via fake call; the wrapper already re-acquired the mutex and
+    // the wait terminates (paper: "the mutex is reacquired and the conditional wait
+    // terminated").
+    relock = false;
+    rc = EINTR;
+  } else if (self->timed_out) {
+    rc = ETIMEDOUT;
+  }
+  self->cond_mutex = nullptr;
+
+  if (relock) {
+    const int lock_rc = LockInKernel(m, self);
+    FSUP_CHECK_MSG(lock_rc == 0, "condwait relock failed");
+  }
+
+  // Interruption point on the way out as well; runs with the mutex held, so a cancellation
+  // unwinds through cleanup handlers with the mutex in a known (locked) state.
+  cancel::TestIntrInKernel();
+
+  kernel::Exit();
+  return rc;
+}
+
+int CondSignal(Cond* c) {
+  kernel::EnsureInit();
+  if (c == nullptr || c->magic != kCondMagic) {
+    return EINVAL;
+  }
+  kernel::Enter();
+  Tcb* w = c->waiters.PopFront();  // priority-ordered: front is the highest priority
+  if (w != nullptr) {
+    ++c->signals_sent;
+    w->cond_signalled = true;
+    sig::CancelBlockTimer(w);
+    kernel::MakeReady(w);
+  }
+  kernel::Exit();
+  return 0;
+}
+
+int CondBroadcast(Cond* c) {
+  kernel::EnsureInit();
+  if (c == nullptr || c->magic != kCondMagic) {
+    return EINVAL;
+  }
+  kernel::Enter();
+  Tcb* w;
+  while ((w = c->waiters.PopFront()) != nullptr) {
+    ++c->signals_sent;
+    w->cond_signalled = true;
+    sig::CancelBlockTimer(w);
+    kernel::MakeReady(w);
+  }
+  kernel::Exit();
+  return 0;
+}
+
+void RepositionCondWaiter(Cond* c, Tcb* t) {
+  c->waiters.Erase(t);
+  InsertCondWaiterByPrio(c, t);
+}
+
+}  // namespace fsup::sync

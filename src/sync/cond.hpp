@@ -1,0 +1,49 @@
+// Condition variables (paper, "Synchronization").
+//
+// A conditional wait atomically unlocks the associated mutex and suspends; the mutex is
+// re-locked before the wait returns, so the mutex is always in a known state — even when a
+// signal handler interrupts the wait, in which case the fake-call wrapper re-acquires the
+// mutex *before* the user handler runs and the wait terminates with EINTR (draft-6 semantics,
+// exactly the behaviour the paper describes). Wakeups go to the highest-priority waiter.
+// Spurious wakeups are permitted by the standard; callers re-evaluate their predicate.
+
+#ifndef FSUP_SRC_SYNC_COND_HPP_
+#define FSUP_SRC_SYNC_COND_HPP_
+
+#include <cstdint>
+
+#include "src/kernel/tcb.hpp"
+#include "src/sync/mutex.hpp"
+#include "src/util/intrusive_list.hpp"
+
+namespace fsup {
+
+inline constexpr uint32_t kCondMagic = 0x636f6e64;  // "cond"
+
+struct Cond {
+  uint32_t magic = 0;
+  uint32_t tag = 0;
+  IntrusiveList<Tcb, &Tcb::link> waiters;  // priority-ordered
+  uint64_t signals_sent = 0;
+};
+
+namespace sync {
+
+int CondInit(Cond* c);
+int CondDestroy(Cond* c);
+
+// timeout_ns < 0: wait forever. Otherwise an absolute CLOCK_MONOTONIC deadline.
+// Returns 0, ETIMEDOUT, EINTR (wait interrupted by a user signal handler), EPERM (mutex not
+// held by the caller), or EINVAL.
+int CondWait(Cond* c, Mutex* m, int64_t deadline_ns);
+
+int CondSignal(Cond* c);
+int CondBroadcast(Cond* c);
+
+// Re-sorts t within c's waiter queue after t's priority changed. In kernel.
+void RepositionCondWaiter(Cond* c, Tcb* t);
+
+}  // namespace sync
+}  // namespace fsup
+
+#endif  // FSUP_SRC_SYNC_COND_HPP_

@@ -1,0 +1,322 @@
+#include "src/sync/mutex.hpp"
+
+#include <cerrno>
+#include <new>
+#include "src/sched/perverted.hpp"
+
+#include "src/arch/ras.hpp"
+#include "src/debug/trace.hpp"
+#include "src/kernel/kernel.hpp"
+#include "src/sched/policy.hpp"
+#include "src/util/assert.hpp"
+
+namespace fsup::sync {
+namespace {
+
+uint32_t g_next_tag = 1;
+
+// True when the uncontended lock/unlock may bypass the kernel entirely. Protocol mutexes must
+// enter (they manipulate priorities); perverted mutex-switch needs the hook on every lock; and
+// tracing wants every event.
+bool FastPathAllowed(const Mutex* m) {
+  return m->proto == MutexProtocol::kNone &&
+         kernel::ks().perverted == PervertedPolicy::kNone && !debug::trace::Enabled();
+}
+
+void AddToOwnedList(Mutex* m, Tcb* t) {
+  FSUP_ASSERT(!m->in_owned_list);
+  m->next_owned = t->owned_head;
+  t->owned_head = m;
+  m->in_owned_list = true;
+}
+
+void RemoveFromOwnedList(Mutex* m, Tcb* t) {
+  Mutex** pp = &t->owned_head;
+  while (*pp != nullptr) {
+    if (*pp == m) {
+      *pp = m->next_owned;
+      m->next_owned = nullptr;
+      m->in_owned_list = false;
+      return;
+    }
+    pp = &(*pp)->next_owned;
+  }
+  FSUP_CHECK_MSG(false, "mutex missing from owner's held list");
+}
+
+// Protocol work on acquisition. In kernel (or uncontended NONE path, which has no work).
+int OnAcquired(Mutex* m, Tcb* self) {
+  switch (m->proto) {
+    case MutexProtocol::kNone:
+      break;
+    case MutexProtocol::kInherit:
+      AddToOwnedList(m, self);
+      break;
+    case MutexProtocol::kProtect: {
+      if (self->base_prio > m->ceiling) {
+        return EINVAL;  // ceiling below a locker's priority: the paper says "undefined"
+      }
+      // SRP: push the previous priority and raise to the ceiling immediately on acquire.
+      FSUP_CHECK_MSG(self->srp_depth < kMaxCeilDepth, "ceiling mutexes nested too deeply");
+      self->srp_stack[self->srp_depth++] = self->prio;
+      if (m->ceiling > self->prio) {
+        debug::trace::Log(debug::trace::Event::kPrioBoost, self->id,
+                          static_cast<uint32_t>(m->ceiling));
+        sched::ApplyPriority(self, m->ceiling, /*to_head=*/true);
+      }
+      break;
+    }
+  }
+  debug::trace::Log(debug::trace::Event::kMutexLock, self->id, m->tag);
+  return 0;
+}
+
+}  // namespace
+
+int MutexInit(Mutex* m, const MutexAttr* attr) {
+  kernel::EnsureInit();
+  if (m == nullptr) {
+    return EINVAL;
+  }
+  MutexAttr defaults;
+  const MutexAttr& a = attr != nullptr ? *attr : defaults;
+  if (a.ceiling < kMinPrio || a.ceiling > kMaxPrio) {
+    return EINVAL;
+  }
+  new (m) Mutex();
+  m->magic = kMutexMagic;
+  m->proto = a.protocol;
+  m->ceiling = static_cast<int16_t>(a.ceiling);
+  m->tag = g_next_tag++;
+  return 0;
+}
+
+int MutexDestroy(Mutex* m) {
+  if (m == nullptr || m->magic != kMutexMagic) {
+    return EINVAL;
+  }
+  kernel::Enter();
+  if (m->lock_word != 0 || !m->waiters.empty()) {
+    kernel::Exit();
+    return EBUSY;
+  }
+  m->magic = 0;
+  kernel::Exit();
+  return 0;
+}
+
+void InsertWaiterByPrio(Mutex* m, Tcb* t) {
+  m->has_waiters = 1;
+  for (Tcb* w : m->waiters) {
+    if (w->prio < t->prio) {
+      m->waiters.InsertBefore(w, t);
+      return;
+    }
+  }
+  m->waiters.PushBack(t);
+}
+
+void RepositionWaiter(Mutex* m, Tcb* t) {
+  m->waiters.Erase(t);
+  InsertWaiterByPrio(m, t);
+}
+
+void RemoveWaiter(Mutex* m, Tcb* t) {
+  m->waiters.Erase(t);
+  if (m->waiters.empty()) {
+    m->has_waiters = 0;
+  }
+}
+
+int MaxWaiterPrio(const Mutex* m) {
+  Tcb* front = m->waiters.Front();
+  return front != nullptr ? front->prio : kMinPrio - 1;
+}
+
+int LockInKernel(Mutex* m, Tcb* self) {
+  FSUP_ASSERT(kernel::InKernel());
+  if (m->holder() == self) {
+    return EDEADLK;
+  }
+  while (m->lock_word != 0) {
+    if (m->owner == self) {
+      // Direct handoff from an unlocker; the lock word never dropped.
+      return OnAcquired(m, self);
+    }
+    ++m->contended_acquires;
+    debug::trace::Log(debug::trace::Event::kMutexBlock, self->id, m->tag);
+    if (m->proto == MutexProtocol::kInherit && m->owner != nullptr &&
+        m->owner->prio < self->prio) {
+      sched::BoostChain(m->owner, self->prio);
+    }
+    InsertWaiterByPrio(m, self);
+    self->waiting_on_mutex = m;
+    kernel::Suspend(BlockReason::kMutex);
+    self->waiting_on_mutex = nullptr;
+    // Re-check: handoff made us owner, or a fake call woke us spuriously and we re-contend.
+  }
+  m->lock_word = 1;
+  m->owner = self;
+  return OnAcquired(m, self);
+}
+
+void UnlockInKernel(Mutex* m, Tcb* self) {
+  FSUP_ASSERT(kernel::InKernel());
+  FSUP_ASSERT(m->holder() == self);
+  debug::trace::Log(debug::trace::Event::kMutexUnlock, self->id, m->tag);
+
+  // Protocol: lower the priority on unlock.
+  switch (m->proto) {
+    case MutexProtocol::kNone:
+      break;
+    case MutexProtocol::kInherit: {
+      RemoveFromOwnedList(m, self);
+      // Linear search over the mutexes still held: the new priority is the max of the base
+      // priority and every remaining contender's priority (paper Table 3).
+      int new_prio = self->base_prio;
+      for (Mutex* held = self->owned_head; held != nullptr; held = held->next_owned) {
+        const int w = MaxWaiterPrio(held);
+        if (w > new_prio) {
+          new_prio = w;
+        }
+      }
+      if (new_prio != self->prio) {
+        debug::trace::Log(debug::trace::Event::kPrioRestore, self->id,
+                          static_cast<uint32_t>(new_prio));
+        sched::ApplyPriority(self, new_prio, /*to_head=*/true);
+      }
+      break;
+    }
+    case MutexProtocol::kProtect: {
+      FSUP_CHECK_MSG(self->srp_depth > 0, "ceiling unlock without matching lock");
+      int restored = self->srp_stack[--self->srp_depth];
+      // Mixing rule (paper Table 4): a pure stack restore would drop an inheritance boost
+      // acquired *while* the ceiling was held, reintroducing unbounded inversion. "The linear
+      // search of the inheritance protocol would determine the correct priority for the
+      // ceiling protocol as well if the protocols were mixed" — so take the max over the
+      // still-held inheritance mutexes' contenders.
+      for (Mutex* held = self->owned_head; held != nullptr; held = held->next_owned) {
+        const int w = MaxWaiterPrio(held);
+        if (w > restored) {
+          restored = w;
+        }
+      }
+      if (restored != self->prio) {
+        debug::trace::Log(debug::trace::Event::kPrioRestore, self->id,
+                          static_cast<uint32_t>(restored));
+        // Head placement: the thread was forced into the boost, so it must not lose its turn
+        // when the boost ends (paper, discussion of lowering on unlock).
+        sched::ApplyPriority(self, restored, /*to_head=*/true);
+      }
+      break;
+    }
+  }
+
+  Tcb* next = m->waiters.PopFront();
+  if (next == nullptr) {
+    m->has_waiters = 0;
+    m->owner = nullptr;
+    m->lock_word = 0;
+    return;
+  }
+  if (m->waiters.empty()) {
+    m->has_waiters = 0;
+  }
+  // Handoff: ownership passes directly; the waiter completes OnAcquired when it runs.
+  m->owner = next;
+  kernel::MakeReady(next);
+}
+
+int MutexLock(Mutex* m) {
+  kernel::EnsureInit();
+  if (m == nullptr || m->magic != kMutexMagic) {
+    return EINVAL;
+  }
+  Tcb* self = kernel::Current();
+  if (m->holder() == self) {
+    return EDEADLK;
+  }
+  if (FastPathAllowed(m)) {
+    if (fsup_ras_lock(&m->lock_word, self,
+                      reinterpret_cast<void* volatile*>(&m->owner)) == 0) {
+      return 0;
+    }
+    // Contended: fall into the kernel path.
+  }
+  kernel::Enter();
+  const int rc = LockInKernel(m, self);
+  if (rc == 0) {
+    sched::PervertedOnMutexLock();
+  }
+  kernel::Exit();
+  return rc;
+}
+
+int MutexTrylock(Mutex* m) {
+  kernel::EnsureInit();
+  if (m == nullptr || m->magic != kMutexMagic) {
+    return EINVAL;
+  }
+  Tcb* self = kernel::Current();
+  if (m->holder() == self) {
+    return EDEADLK;
+  }
+  if (FastPathAllowed(m)) {
+    return fsup_ras_lock(&m->lock_word, self,
+                         reinterpret_cast<void* volatile*>(&m->owner)) == 0
+               ? 0
+               : EBUSY;
+  }
+  kernel::Enter();
+  int rc;
+  if (m->lock_word != 0) {
+    rc = EBUSY;
+  } else {
+    m->lock_word = 1;
+    m->owner = self;
+    rc = OnAcquired(m, self);
+    if (rc == 0) {
+      sched::PervertedOnMutexLock();
+    }
+  }
+  kernel::Exit();
+  return rc;
+}
+
+int MutexUnlock(Mutex* m) {
+  kernel::EnsureInit();
+  if (m == nullptr || m->magic != kMutexMagic) {
+    return EINVAL;
+  }
+  Tcb* self = kernel::Current();
+  if (m->holder() != self) {
+    return EPERM;
+  }
+  if (FastPathAllowed(m)) {
+    // Restartable sequence: releases only if no waiter is queued; a waiter enqueued by a
+    // preempting signal handler forces the restart down the kernel handoff path.
+    if (fsup_ras_unlock(&m->lock_word, &m->has_waiters) == 0) {
+      return 0;
+    }
+  }
+  kernel::Enter();
+  UnlockInKernel(m, self);
+  kernel::Exit();
+  return 0;
+}
+
+int MutexSetCeiling(Mutex* m, int ceiling, int* old_ceiling) {
+  if (m == nullptr || m->magic != kMutexMagic || m->proto != MutexProtocol::kProtect ||
+      ceiling < kMinPrio || ceiling > kMaxPrio) {
+    return EINVAL;
+  }
+  kernel::Enter();
+  if (old_ceiling != nullptr) {
+    *old_ceiling = m->ceiling;
+  }
+  m->ceiling = static_cast<int16_t>(ceiling);
+  kernel::Exit();
+  return 0;
+}
+
+}  // namespace fsup::sync

@@ -1,0 +1,55 @@
+#include "src/sync/once.hpp"
+
+#include <cerrno>
+
+#include "src/sync/cond.hpp"
+#include "src/sync/mutex.hpp"
+
+namespace fsup::sync {
+namespace {
+
+// One mutex/cond pair shared by every Once object keeps Once zero-initializable.
+Mutex g_once_mutex;
+Cond g_once_cv;
+bool g_once_sync_ready = false;
+
+void EnsureOnceSync() {
+  if (!g_once_sync_ready) {
+    MutexInit(&g_once_mutex, nullptr);
+    CondInit(&g_once_cv);
+    g_once_sync_ready = true;
+  }
+}
+
+}  // namespace
+
+int OnceRun(Once* once, void (*fn)()) {
+  if (once == nullptr || fn == nullptr) {
+    return EINVAL;
+  }
+  if (once->state == 2) {
+    return 0;
+  }
+  EnsureOnceSync();
+  int rc = MutexLock(&g_once_mutex);
+  if (rc != 0) {
+    return rc;
+  }
+  while (once->state == 1) {
+    rc = CondWait(&g_once_cv, &g_once_mutex, -1);
+    if (rc != 0 && rc != EINTR) {  // EINTR: handler ran, mutex re-held — re-test predicate
+      return rc;
+    }
+  }
+  if (once->state == 0) {
+    once->state = 1;
+    MutexUnlock(&g_once_mutex);
+    fn();
+    MutexLock(&g_once_mutex);
+    once->state = 2;
+    CondBroadcast(&g_once_cv);
+  }
+  return MutexUnlock(&g_once_mutex);
+}
+
+}  // namespace fsup::sync

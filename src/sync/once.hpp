@@ -1,0 +1,24 @@
+// One-time initialization (pthread_once). Late arrivals block on a shared condition variable
+// rather than spinning — under strict priority scheduling a spinning high-priority waiter
+// would starve the low-priority initializer forever.
+
+#ifndef FSUP_SRC_SYNC_ONCE_HPP_
+#define FSUP_SRC_SYNC_ONCE_HPP_
+
+#include <cstdint>
+
+namespace fsup {
+
+struct Once {
+  // 0 = never run, 1 = running, 2 = done. Zero-initializable so static Once objects work.
+  volatile int state = 0;
+};
+
+namespace sync {
+
+int OnceRun(Once* once, void (*fn)());
+
+}  // namespace sync
+}  // namespace fsup
+
+#endif  // FSUP_SRC_SYNC_ONCE_HPP_

@@ -1,0 +1,165 @@
+#include "src/sync/rwlock.hpp"
+
+#include <cerrno>
+#include <new>
+
+#include "src/kernel/kernel.hpp"
+
+namespace fsup::sync {
+namespace {
+
+// CondWait treating EINTR as a spurious wakeup: the fake-call wrapper already re-acquired
+// the mutex, so callers keep a simple predicate loop.
+int WaitLocked(Cond* c, Mutex* m) {
+  const int rc = CondWait(c, m, -1);
+  return rc == EINTR ? 0 : rc;
+}
+
+}  // namespace
+
+int RwlockInit(Rwlock* rw) {
+  if (rw == nullptr) {
+    return EINVAL;
+  }
+  new (rw) Rwlock();
+  int rc = MutexInit(&rw->m, nullptr);
+  if (rc == 0) {
+    rc = CondInit(&rw->readers_cv);
+  }
+  if (rc == 0) {
+    rc = CondInit(&rw->writers_cv);
+  }
+  if (rc == 0) {
+    rw->magic = kRwlockMagic;
+  }
+  return rc;
+}
+
+int RwlockDestroy(Rwlock* rw) {
+  if (rw == nullptr || rw->magic != kRwlockMagic) {
+    return EINVAL;
+  }
+  if (rw->active_readers > 0 || rw->writer_active || rw->waiting_writers > 0) {
+    return EBUSY;
+  }
+  rw->magic = 0;
+  CondDestroy(&rw->readers_cv);
+  CondDestroy(&rw->writers_cv);
+  return MutexDestroy(&rw->m);
+}
+
+int RwlockRdLock(Rwlock* rw) {
+  if (rw == nullptr || rw->magic != kRwlockMagic) {
+    return EINVAL;
+  }
+  int rc = MutexLock(&rw->m);
+  if (rc != 0) {
+    return rc;
+  }
+  if (rw->writer == kernel::Current()) {
+    MutexUnlock(&rw->m);
+    return EDEADLK;
+  }
+  while (rw->writer_active || rw->waiting_writers > 0) {
+    rc = WaitLocked(&rw->readers_cv, &rw->m);
+    if (rc != 0) {
+      MutexUnlock(&rw->m);
+      return rc;
+    }
+  }
+  ++rw->active_readers;
+  return MutexUnlock(&rw->m);
+}
+
+int RwlockTryRdLock(Rwlock* rw) {
+  if (rw == nullptr || rw->magic != kRwlockMagic) {
+    return EINVAL;
+  }
+  int rc = MutexLock(&rw->m);
+  if (rc != 0) {
+    return rc;
+  }
+  if (rw->writer_active || rw->waiting_writers > 0) {
+    MutexUnlock(&rw->m);
+    return EBUSY;
+  }
+  ++rw->active_readers;
+  return MutexUnlock(&rw->m);
+}
+
+int RwlockWrLock(Rwlock* rw) {
+  if (rw == nullptr || rw->magic != kRwlockMagic) {
+    return EINVAL;
+  }
+  int rc = MutexLock(&rw->m);
+  if (rc != 0) {
+    return rc;
+  }
+  if (rw->writer == kernel::Current()) {
+    MutexUnlock(&rw->m);
+    return EDEADLK;
+  }
+  ++rw->waiting_writers;
+  while (rw->writer_active || rw->active_readers > 0) {
+    rc = WaitLocked(&rw->writers_cv, &rw->m);
+    if (rc != 0) {
+      --rw->waiting_writers;
+      MutexUnlock(&rw->m);
+      return rc;
+    }
+  }
+  --rw->waiting_writers;
+  rw->writer_active = true;
+  rw->writer = kernel::Current();
+  return MutexUnlock(&rw->m);
+}
+
+int RwlockTryWrLock(Rwlock* rw) {
+  if (rw == nullptr || rw->magic != kRwlockMagic) {
+    return EINVAL;
+  }
+  int rc = MutexLock(&rw->m);
+  if (rc != 0) {
+    return rc;
+  }
+  if (rw->writer_active || rw->active_readers > 0) {
+    MutexUnlock(&rw->m);
+    return EBUSY;
+  }
+  rw->writer_active = true;
+  rw->writer = kernel::Current();
+  return MutexUnlock(&rw->m);
+}
+
+int RwlockUnlock(Rwlock* rw) {
+  if (rw == nullptr || rw->magic != kRwlockMagic) {
+    return EINVAL;
+  }
+  int rc = MutexLock(&rw->m);
+  if (rc != 0) {
+    return rc;
+  }
+  if (rw->writer_active) {
+    if (rw->writer != kernel::Current()) {
+      MutexUnlock(&rw->m);
+      return EPERM;
+    }
+    rw->writer_active = false;
+    rw->writer = nullptr;
+  } else if (rw->active_readers > 0) {
+    --rw->active_readers;
+  } else {
+    MutexUnlock(&rw->m);
+    return EPERM;
+  }
+  if (rw->active_readers == 0) {
+    if (rw->waiting_writers > 0) {
+      CondSignal(&rw->writers_cv);
+    } else {
+      CondBroadcast(&rw->readers_cv);
+    }
+  }
+  return MutexUnlock(&rw->m);
+}
+
+}  // namespace fsup::sync

@@ -1,0 +1,41 @@
+// Reader-writer locks, layered on mutex + condition variables (an extension beyond the
+// paper's draft-6 scope; POSIX gained them in 1003.1j). Writer-preferring: arriving readers
+// queue behind a waiting writer to prevent writer starvation.
+
+#ifndef FSUP_SRC_SYNC_RWLOCK_HPP_
+#define FSUP_SRC_SYNC_RWLOCK_HPP_
+
+#include <cstdint>
+
+#include "src/sync/cond.hpp"
+#include "src/sync/mutex.hpp"
+
+namespace fsup {
+
+inline constexpr uint32_t kRwlockMagic = 0x72776c6b;  // "rwlk"
+
+struct Rwlock {
+  uint32_t magic = 0;
+  Mutex m;
+  Cond readers_cv;
+  Cond writers_cv;
+  int active_readers = 0;
+  bool writer_active = false;
+  Tcb* writer = nullptr;
+  int waiting_writers = 0;
+};
+
+namespace sync {
+
+int RwlockInit(Rwlock* rw);
+int RwlockDestroy(Rwlock* rw);
+int RwlockRdLock(Rwlock* rw);
+int RwlockTryRdLock(Rwlock* rw);  // EBUSY if it would block
+int RwlockWrLock(Rwlock* rw);
+int RwlockTryWrLock(Rwlock* rw);
+int RwlockUnlock(Rwlock* rw);
+
+}  // namespace sync
+}  // namespace fsup
+
+#endif  // FSUP_SRC_SYNC_RWLOCK_HPP_

@@ -1,0 +1,97 @@
+#include "src/sync/semaphore.hpp"
+
+#include <cerrno>
+#include <new>
+
+namespace fsup::sync {
+
+int SemInit(Semaphore* s, int initial) {
+  if (s == nullptr || initial < 0) {
+    return EINVAL;
+  }
+  new (s) Semaphore();
+  int rc = MutexInit(&s->m, nullptr);
+  if (rc != 0) {
+    return rc;
+  }
+  rc = CondInit(&s->c);
+  if (rc != 0) {
+    return rc;
+  }
+  s->count = initial;
+  s->magic = kSemMagic;
+  return 0;
+}
+
+int SemDestroy(Semaphore* s) {
+  if (s == nullptr || s->magic != kSemMagic) {
+    return EINVAL;
+  }
+  const int rc = CondDestroy(&s->c);
+  if (rc != 0) {
+    return rc;
+  }
+  s->magic = 0;
+  return MutexDestroy(&s->m);
+}
+
+int SemWait(Semaphore* s) {
+  if (s == nullptr || s->magic != kSemMagic) {
+    return EINVAL;
+  }
+  int rc = MutexLock(&s->m);
+  if (rc != 0) {
+    return rc;
+  }
+  while (s->count == 0) {
+    rc = CondWait(&s->c, &s->m, -1);
+    if (rc == EINTR) {
+      continue;  // wait terminated by a signal handler; the wrapper re-acquired the mutex
+    }
+    if (rc != 0) {
+      MutexUnlock(&s->m);
+      return rc;
+    }
+  }
+  --s->count;
+  return MutexUnlock(&s->m);
+}
+
+int SemTryWait(Semaphore* s) {
+  if (s == nullptr || s->magic != kSemMagic) {
+    return EINVAL;
+  }
+  int rc = MutexLock(&s->m);
+  if (rc != 0) {
+    return rc;
+  }
+  if (s->count == 0) {
+    MutexUnlock(&s->m);
+    return EAGAIN;
+  }
+  --s->count;
+  return MutexUnlock(&s->m);
+}
+
+int SemPost(Semaphore* s) {
+  if (s == nullptr || s->magic != kSemMagic) {
+    return EINVAL;
+  }
+  int rc = MutexLock(&s->m);
+  if (rc != 0) {
+    return rc;
+  }
+  ++s->count;
+  CondSignal(&s->c);
+  return MutexUnlock(&s->m);
+}
+
+int SemGetValue(Semaphore* s, int* value) {
+  if (s == nullptr || s->magic != kSemMagic || value == nullptr) {
+    return EINVAL;
+  }
+  *value = s->count;
+  return 0;
+}
+
+}  // namespace fsup::sync

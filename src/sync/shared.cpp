@@ -1,0 +1,143 @@
+#include "src/sync/shared.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "src/core/pthread.hpp"
+#include "src/kernel/kernel.hpp"
+
+namespace fsup::sync {
+namespace {
+
+// Backoff ladder: brief spinning (the peer process may be mid-critical-section on another
+// CPU or about to be scheduled), then thread-suspending delays with exponential growth. Only
+// the calling green thread sleeps; the process keeps scheduling others.
+void Backoff(int round) {
+  if (round < 4) {
+    for (int i = 0; i < (1 << (4 + round)); ++i) {
+      asm volatile("" ::: "memory");
+    }
+    pt_yield();
+    return;
+  }
+  int64_t ns = 1000LL << (round < 14 ? round - 4 : 10);  // 1µs .. ~1ms, capped
+  pt_delay(ns);
+}
+
+uint32_t SelfPid() { return static_cast<uint32_t>(::getpid()); }
+
+}  // namespace
+
+void* MapShared(size_t size) {
+  void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  return p == MAP_FAILED ? nullptr : p;
+}
+
+void UnmapShared(void* p, size_t size) { ::munmap(p, size); }
+
+int SharedMutexInit(SharedMutex* m) {
+  if (m == nullptr) {
+    return EINVAL;
+  }
+  m->word.store(0, std::memory_order_relaxed);
+  m->contended.store(0, std::memory_order_relaxed);
+  m->magic = kSharedMagic;
+  return 0;
+}
+
+int SharedMutexLock(SharedMutex* m) {
+  if (m == nullptr || m->magic != kSharedMagic) {
+    return EINVAL;
+  }
+  kernel::EnsureInit();
+  const uint32_t self = SelfPid();
+  for (int round = 0;; ++round) {
+    uint32_t expected = 0;
+    if (m->word.compare_exchange_strong(expected, self, std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+      return 0;
+    }
+    if (expected == self) {
+      // Held by this process already. Green threads of one process must use the in-process
+      // mutex for mutual exclusion among themselves; treat as deadlock to surface the misuse.
+      return EDEADLK;
+    }
+    m->contended.fetch_add(1, std::memory_order_relaxed);
+    Backoff(round);
+  }
+}
+
+int SharedMutexTrylock(SharedMutex* m) {
+  if (m == nullptr || m->magic != kSharedMagic) {
+    return EINVAL;
+  }
+  uint32_t expected = 0;
+  if (m->word.compare_exchange_strong(expected, SelfPid(), std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+    return 0;
+  }
+  return expected == SelfPid() ? EDEADLK : EBUSY;
+}
+
+int SharedMutexUnlock(SharedMutex* m) {
+  if (m == nullptr || m->magic != kSharedMagic) {
+    return EINVAL;
+  }
+  if (m->word.load(std::memory_order_relaxed) != SelfPid()) {
+    return EPERM;
+  }
+  m->word.store(0, std::memory_order_release);
+  return 0;
+}
+
+int SharedSemInit(SharedSemaphore* s, int initial) {
+  if (s == nullptr || initial < 0) {
+    return EINVAL;
+  }
+  s->count.store(initial, std::memory_order_relaxed);
+  s->magic = kSharedMagic;
+  return 0;
+}
+
+int SharedSemWait(SharedSemaphore* s) {
+  if (s == nullptr || s->magic != kSharedMagic) {
+    return EINVAL;
+  }
+  kernel::EnsureInit();
+  for (int round = 0;; ++round) {
+    int32_t cur = s->count.load(std::memory_order_relaxed);
+    while (cur > 0) {
+      if (s->count.compare_exchange_weak(cur, cur - 1, std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+        return 0;
+      }
+    }
+    Backoff(round);
+  }
+}
+
+int SharedSemTryWait(SharedSemaphore* s) {
+  if (s == nullptr || s->magic != kSharedMagic) {
+    return EINVAL;
+  }
+  int32_t cur = s->count.load(std::memory_order_relaxed);
+  while (cur > 0) {
+    if (s->count.compare_exchange_weak(cur, cur - 1, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+      return 0;
+    }
+  }
+  return EAGAIN;
+}
+
+int SharedSemPost(SharedSemaphore* s) {
+  if (s == nullptr || s->magic != kSharedMagic) {
+    return EINVAL;
+  }
+  s->count.fetch_add(1, std::memory_order_release);
+  return 0;
+}
+
+}  // namespace fsup::sync

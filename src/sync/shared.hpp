@@ -1,0 +1,61 @@
+// Process-shared synchronization (paper, "Future Work"):
+//
+//   "The current status of the implementation still lacks shared mutexes and condition
+//    variables which can be used across processes. Such objects could either be implemented
+//    on top of existing interprocess communication primitives or by allocating a mutex
+//    object in a shared data space. The latter approach should achieve better performance."
+//
+// This module implements the latter approach: the objects live in MAP_SHARED memory
+// (inherited across fork) and are manipulated with genuinely atomic instructions — unlike the
+// in-process mutexes, two *processes* really do race, so restartable sequences do not apply.
+// Contention is resolved by bounded exponential backoff through pt_delay, which suspends only
+// the calling *thread*: other threads of the process keep running while one waits for a peer
+// process. As the paper predicts, the priority protocols cannot span processes ("the
+// libraries of the two processes would have to communicate somehow"); shared objects support
+// no protocol attributes.
+
+#ifndef FSUP_SRC_SYNC_SHARED_HPP_
+#define FSUP_SRC_SYNC_SHARED_HPP_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace fsup {
+
+inline constexpr uint32_t kSharedMagic = 0x73686d75;  // "shmu"
+
+// A mutex usable by threads of multiple processes. Must live in memory shared between them
+// (see MapShared). Zero backoff state per acquirer; fairness is best-effort.
+struct SharedMutex {
+  uint32_t magic = 0;
+  std::atomic<uint32_t> word{0};  // 0 free; else the pid of the owning process
+  std::atomic<uint32_t> contended{0};
+};
+
+// A counting semaphore usable across processes.
+struct SharedSemaphore {
+  uint32_t magic = 0;
+  std::atomic<int32_t> count{0};
+};
+
+namespace sync {
+
+// Maps `size` bytes of zeroed memory shared with future fork children. nullptr on failure.
+void* MapShared(size_t size);
+void UnmapShared(void* p, size_t size);
+
+int SharedMutexInit(SharedMutex* m);
+int SharedMutexLock(SharedMutex* m);     // suspends only the calling thread while waiting
+int SharedMutexTrylock(SharedMutex* m);  // EBUSY
+int SharedMutexUnlock(SharedMutex* m);   // EPERM if this process does not hold it
+
+int SharedSemInit(SharedSemaphore* s, int initial);
+int SharedSemWait(SharedSemaphore* s);
+int SharedSemTryWait(SharedSemaphore* s);  // EAGAIN
+int SharedSemPost(SharedSemaphore* s);
+
+}  // namespace sync
+}  // namespace fsup
+
+#endif  // FSUP_SRC_SYNC_SHARED_HPP_

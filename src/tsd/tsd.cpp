@@ -1,0 +1,98 @@
+#include "src/tsd/tsd.hpp"
+
+#include <cerrno>
+
+#include "src/kernel/kernel.hpp"
+#include "src/kernel/types.hpp"
+
+namespace fsup::tsd {
+namespace {
+
+constexpr int kDestructorIterations = 4;  // POSIX's PTHREAD_DESTRUCTOR_ITERATIONS spirit
+
+struct KeySlot {
+  bool used = false;
+  Destructor dtor = nullptr;
+};
+
+KeySlot g_keys[kMaxTsdKeys];
+
+}  // namespace
+
+int KeyCreate(Key* key, Destructor dtor) {
+  kernel::EnsureInit();
+  if (key == nullptr) {
+    return EINVAL;
+  }
+  kernel::Enter();
+  for (int i = 0; i < kMaxTsdKeys; ++i) {
+    if (!g_keys[i].used) {
+      g_keys[i].used = true;
+      g_keys[i].dtor = dtor;
+      *key = i;
+      kernel::Exit();
+      return 0;
+    }
+  }
+  kernel::Exit();
+  return EAGAIN;
+}
+
+int KeyDelete(Key key) {
+  kernel::EnsureInit();
+  if (key < 0 || key >= kMaxTsdKeys) {
+    return EINVAL;
+  }
+  kernel::Enter();
+  if (!g_keys[key].used) {
+    kernel::Exit();
+    return EINVAL;
+  }
+  g_keys[key].used = false;
+  g_keys[key].dtor = nullptr;
+  kernel::Exit();
+  return 0;
+}
+
+int SetSpecific(Key key, void* value) {
+  kernel::EnsureInit();
+  if (key < 0 || key >= kMaxTsdKeys || !g_keys[key].used) {
+    return EINVAL;
+  }
+  kernel::Current()->tsd[key] = value;
+  return 0;
+}
+
+void* GetSpecific(Key key) {
+  kernel::EnsureInit();
+  if (key < 0 || key >= kMaxTsdKeys || !g_keys[key].used) {
+    return nullptr;
+  }
+  return kernel::Current()->tsd[key];
+}
+
+void RunDestructors(Tcb* t) {
+  for (int iter = 0; iter < kDestructorIterations; ++iter) {
+    bool ran_any = false;
+    for (int i = 0; i < kMaxTsdKeys; ++i) {
+      void* value = t->tsd[i];
+      if (value == nullptr || !g_keys[i].used || g_keys[i].dtor == nullptr) {
+        continue;
+      }
+      t->tsd[i] = nullptr;
+      g_keys[i].dtor(value);
+      ran_any = true;
+    }
+    if (!ran_any) {
+      return;
+    }
+  }
+}
+
+void ResetForTesting() {
+  for (KeySlot& k : g_keys) {
+    k = KeySlot{};
+  }
+}
+
+}  // namespace fsup::tsd

@@ -1,0 +1,26 @@
+// Thread-specific data: keys with optional destructors, one value slot per key per thread.
+
+#ifndef FSUP_SRC_TSD_TSD_HPP_
+#define FSUP_SRC_TSD_TSD_HPP_
+
+#include "src/kernel/tcb.hpp"
+
+namespace fsup::tsd {
+
+using Key = int;
+using Destructor = void (*)(void*);
+
+int KeyCreate(Key* key, Destructor dtor);
+int KeyDelete(Key key);
+int SetSpecific(Key key, void* value);
+void* GetSpecific(Key key);
+
+// Runs destructors for every non-null value of the exiting thread, repeating (bounded) while
+// destructors install new values, then clears the slots. Outside the kernel (user code).
+void RunDestructors(Tcb* t);
+
+void ResetForTesting();
+
+}  // namespace fsup::tsd
+
+#endif  // FSUP_SRC_TSD_TSD_HPP_

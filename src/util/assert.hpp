@@ -1,0 +1,40 @@
+// Fatal assertion macros for the fsup library.
+//
+// The library kernel manipulates thread contexts and raw stacks; continuing after an internal
+// invariant breaks would corrupt user state, so violations abort with a message. FSUP_ASSERT is
+// compiled out in NDEBUG builds, FSUP_CHECK is always on (used for invariants whose cost is
+// trivial next to the operation they guard, e.g. once per context switch).
+
+#ifndef FSUP_SRC_UTIL_ASSERT_HPP_
+#define FSUP_SRC_UTIL_ASSERT_HPP_
+
+namespace fsup {
+
+// Prints "fsup fatal: <msg> at <file>:<line>", a thread dump if the runtime is up, then aborts.
+[[noreturn]] void FatalError(const char* msg, const char* file, int line);
+
+}  // namespace fsup
+
+#define FSUP_CHECK(cond)                                        \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::fsup::FatalError("check failed: " #cond, __FILE__, __LINE__); \
+    }                                                           \
+  } while (0)
+
+#define FSUP_CHECK_MSG(cond, msg)                               \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::fsup::FatalError(msg, __FILE__, __LINE__);              \
+    }                                                           \
+  } while (0)
+
+#ifdef NDEBUG
+#define FSUP_ASSERT(cond) \
+  do {                    \
+  } while (0)
+#else
+#define FSUP_ASSERT(cond) FSUP_CHECK(cond)
+#endif
+
+#endif  // FSUP_SRC_UTIL_ASSERT_HPP_

@@ -1,0 +1,13 @@
+#include "src/util/dual_loop_timer.hpp"
+
+#include <ctime>
+
+namespace fsup {
+
+int64_t NowNs() {
+  timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+}  // namespace fsup

@@ -1,0 +1,99 @@
+// Fixed-capacity object pool with a free list.
+//
+// The paper measures that ~70% of thread-creation time on SunOS was heap allocation of the TCB
+// and stack, and removes it by pre-caching both in a memory pool. This pool is that mechanism
+// for TCBs (StackPool handles stacks, which need mmap + guard pages). Allocation falls back to
+// the heap only when the pool is exhausted, mirroring the paper's "dynamic memory allocation
+// would only be performed when the pool space is exhausted".
+
+#ifndef FSUP_SRC_UTIL_FIXED_POOL_HPP_
+#define FSUP_SRC_UTIL_FIXED_POOL_HPP_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "src/util/assert.hpp"
+
+namespace fsup {
+
+template <typename T>
+class FixedPool {
+ public:
+  FixedPool() = default;
+
+  explicit FixedPool(size_t capacity) { Reserve(capacity); }
+
+  FixedPool(const FixedPool&) = delete;
+  FixedPool& operator=(const FixedPool&) = delete;
+
+  ~FixedPool() { FSUP_CHECK_MSG(outstanding_ == 0, "pool destroyed with live objects"); }
+
+  // Pre-allocates `capacity` slots. May be called once, before any Get().
+  void Reserve(size_t capacity) {
+    FSUP_CHECK(slab_ == nullptr);
+    capacity_ = capacity;
+    if (capacity_ == 0) {
+      return;
+    }
+    slab_.reset(new Slot[capacity_]);
+    free_.reserve(capacity_);
+    for (size_t i = 0; i < capacity_; ++i) {
+      free_.push_back(&slab_[capacity_ - 1 - i]);
+    }
+  }
+
+  // Returns raw storage for a T; the caller placement-news into it.
+  void* Get() {
+    ++outstanding_;
+    if (!free_.empty()) {
+      Slot* s = free_.back();
+      free_.pop_back();
+      ++pool_hits_;
+      return s->bytes;
+    }
+    ++heap_fallbacks_;
+    return ::operator new(sizeof(Slot), std::align_val_t(alignof(Slot)));
+  }
+
+  // Returns storage obtained from Get(). The T must already be destroyed.
+  void Put(void* p) {
+    FSUP_CHECK(outstanding_ > 0);
+    --outstanding_;
+    if (FromSlab(p)) {
+      free_.push_back(reinterpret_cast<Slot*>(p));
+      return;
+    }
+    ::operator delete(p, std::align_val_t(alignof(Slot)));
+  }
+
+  size_t outstanding() const { return outstanding_; }
+  size_t pool_hits() const { return pool_hits_; }
+  size_t heap_fallbacks() const { return heap_fallbacks_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct alignas(alignof(T)) Slot {
+    unsigned char bytes[sizeof(T)];
+  };
+
+  bool FromSlab(const void* p) const {
+    if (slab_ == nullptr) {
+      return false;
+    }
+    const auto* s = reinterpret_cast<const Slot*>(p);
+    return s >= &slab_[0] && s < &slab_[capacity_];
+  }
+
+  std::unique_ptr<Slot[]> slab_;
+  std::vector<Slot*> free_;
+  size_t capacity_ = 0;
+  size_t outstanding_ = 0;
+  size_t pool_hits_ = 0;
+  size_t heap_fallbacks_ = 0;
+};
+
+}  // namespace fsup
+
+#endif  // FSUP_SRC_UTIL_FIXED_POOL_HPP_

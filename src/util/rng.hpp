@@ -1,0 +1,36 @@
+// Deterministic pseudo-random number generator (xoshiro256**).
+//
+// Used by the "random switch" perverted scheduling policy. The paper notes that "varying the
+// initialization of random number generators for the random switch policy proved to be a simple
+// but powerful way to influence the ordering of threads" — so the seed is part of the public
+// perverted-scheduling API and the sequence must be reproducible across runs, which rules out
+// std::random_device and platform-varying distributions.
+
+#ifndef FSUP_SRC_UTIL_RNG_HPP_
+#define FSUP_SRC_UTIL_RNG_HPP_
+
+#include <cstdint>
+
+namespace fsup {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  uint64_t Next();
+
+  // Uniform in [0, bound) without modulo bias.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Fair coin.
+  bool NextBool() { return (Next() & 1) != 0; }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace fsup
+
+#endif  // FSUP_SRC_UTIL_RNG_HPP_

@@ -1,0 +1,33 @@
+#include "src/util/stats.hpp"
+
+#include <cmath>
+
+namespace fsup {
+
+void Stats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    if (x < min_) {
+      min_ = x;
+    }
+    if (x > max_) {
+      max_ = x;
+    }
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Stats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0;
+}
+
+double Stats::stddev() const { return std::sqrt(variance()); }
+
+void Stats::Reset() { *this = Stats(); }
+
+}  // namespace fsup

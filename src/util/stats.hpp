@@ -1,0 +1,36 @@
+// Streaming statistics accumulator used by benches and tests.
+//
+// Accumulates count/min/max and mean/variance with Welford's method, so bench harnesses can
+// report distributions without storing samples.
+
+#ifndef FSUP_SRC_UTIL_STATS_HPP_
+#define FSUP_SRC_UTIL_STATS_HPP_
+
+#include <cstdint>
+
+namespace fsup {
+
+class Stats {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double min() const { return count_ > 0 ? min_ : 0; }
+  double max() const { return count_ > 0 ? max_ : 0; }
+  double mean() const { return count_ > 0 ? mean_ : 0; }
+  double variance() const;
+  double stddev() const;
+
+  void Reset();
+
+ private:
+  int64_t count_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+}  // namespace fsup
+
+#endif  // FSUP_SRC_UTIL_STATS_HPP_

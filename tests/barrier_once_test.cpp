@@ -1,0 +1,155 @@
+// Barriers and one-time initialization.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <vector>
+
+#include "src/core/pthread.hpp"
+
+namespace fsup {
+namespace {
+
+class BarrierOnceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { pt_reinit(); }
+};
+
+TEST_F(BarrierOnceTest, BarrierReleasesAllAtOnce) {
+  constexpr int kThreads = 4;
+  struct Shared {
+    pt_barrier_t b;
+    int arrived = 0;
+    int after_min_arrivals = kThreads;  // min arrivals observed after crossing
+  } s;
+  ASSERT_EQ(0, pt_barrier_init(&s.b, kThreads + 1));  // +1 for the main thread
+  auto body = +[](void* sp) -> void* {
+    auto* s = static_cast<Shared*>(sp);
+    ++s->arrived;
+    const int rc = pt_barrier_wait(&s->b);
+    EXPECT_TRUE(rc == 0 || rc == kBarrierSerialThread);
+    if (s->arrived < s->after_min_arrivals) {
+      s->after_min_arrivals = s->arrived;
+    }
+    return nullptr;
+  };
+  std::vector<pt_thread_t> ts(kThreads);
+  for (auto& t : ts) {
+    ASSERT_EQ(0, pt_create(&t, nullptr, body, &s));
+  }
+  pt_yield();
+  EXPECT_EQ(kThreads, s.arrived);  // all blocked on the barrier
+  const int rc = pt_barrier_wait(&s.b);
+  EXPECT_TRUE(rc == 0 || rc == kBarrierSerialThread);
+  for (auto& t : ts) {
+    ASSERT_EQ(0, pt_join(t, nullptr));
+  }
+  EXPECT_EQ(kThreads, s.after_min_arrivals);  // nobody crossed before everyone arrived
+  EXPECT_EQ(0, pt_barrier_destroy(&s.b));
+}
+
+TEST_F(BarrierOnceTest, ExactlyOneSerialThreadPerCycle) {
+  constexpr int kThreads = 3;
+  constexpr int kCycles = 5;
+  struct Shared {
+    pt_barrier_t b;
+    int serial_count = 0;
+  } s;
+  ASSERT_EQ(0, pt_barrier_init(&s.b, kThreads));
+  auto body = +[](void* sp) -> void* {
+    auto* s = static_cast<Shared*>(sp);
+    for (int c = 0; c < kCycles; ++c) {
+      const int rc = pt_barrier_wait(&s->b);
+      if (rc == kBarrierSerialThread) {
+        ++s->serial_count;
+      } else {
+        EXPECT_EQ(0, rc);
+      }
+    }
+    return nullptr;
+  };
+  std::vector<pt_thread_t> ts(kThreads);
+  for (auto& t : ts) {
+    ASSERT_EQ(0, pt_create(&t, nullptr, body, &s));
+  }
+  for (auto& t : ts) {
+    ASSERT_EQ(0, pt_join(t, nullptr));
+  }
+  EXPECT_EQ(kCycles, s.serial_count);
+  EXPECT_EQ(0, pt_barrier_destroy(&s.b));
+}
+
+TEST_F(BarrierOnceTest, BarrierInvalidCount) {
+  pt_barrier_t b;
+  EXPECT_EQ(EINVAL, pt_barrier_init(&b, 0));
+  EXPECT_EQ(EINVAL, pt_barrier_init(nullptr, 2));
+}
+
+int g_once_runs = 0;
+void OnceFn() { ++g_once_runs; }
+
+TEST_F(BarrierOnceTest, OnceRunsExactlyOnce) {
+  g_once_runs = 0;
+  pt_once_t once;
+  EXPECT_EQ(0, pt_once(&once, &OnceFn));
+  EXPECT_EQ(0, pt_once(&once, &OnceFn));
+  EXPECT_EQ(1, g_once_runs);
+}
+
+TEST_F(BarrierOnceTest, OnceFromManyThreads) {
+  g_once_runs = 0;
+  static pt_once_t once;  // static: zero-init like PTHREAD_ONCE_INIT
+  once = pt_once_t{};
+  auto body = +[](void*) -> void* {
+    EXPECT_EQ(0, pt_once(&once, &OnceFn));
+    return nullptr;
+  };
+  std::vector<pt_thread_t> ts(8);
+  for (auto& t : ts) {
+    ASSERT_EQ(0, pt_create(&t, nullptr, body, nullptr));
+  }
+  for (auto& t : ts) {
+    ASSERT_EQ(0, pt_join(t, nullptr));
+  }
+  EXPECT_EQ(1, g_once_runs);
+}
+
+TEST_F(BarrierOnceTest, OnceWaitersBlockWhileInitializerYields) {
+  g_once_runs = 0;
+  static pt_once_t once;
+  once = pt_once_t{};
+  static int observers_after = 0;
+  auto slow_init = +[]() {
+    pt_yield();  // let the other threads pile up on the once
+    pt_yield();
+    ++g_once_runs;
+  };
+  struct Arg {
+    void (*fn)();
+  };
+  static Arg arg{+[]() {
+    pt_yield();
+    pt_yield();
+    ++g_once_runs;
+  }};
+  (void)slow_init;
+  auto body = +[](void*) -> void* {
+    EXPECT_EQ(0, pt_once(&once, arg.fn));
+    EXPECT_EQ(1, g_once_runs);  // initialization must be complete when pt_once returns
+    ++observers_after;
+    return nullptr;
+  };
+  observers_after = 0;
+  std::vector<pt_thread_t> ts(4);
+  for (auto& t : ts) {
+    ASSERT_EQ(0, pt_create(&t, nullptr, body, nullptr));
+  }
+  for (auto& t : ts) {
+    ASSERT_EQ(0, pt_join(t, nullptr));
+  }
+  EXPECT_EQ(1, g_once_runs);
+  EXPECT_EQ(4, observers_after);
+}
+
+}  // namespace
+}  // namespace fsup

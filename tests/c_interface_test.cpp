@@ -1,0 +1,24 @@
+// Drives the pure-C translation unit (c_interface_impl.c) that consumes the
+// language-independent interface with no C++ at all.
+
+#include <gtest/gtest.h>
+
+#include "src/core/pthread.hpp"
+
+extern "C" long c_interface_smoke(void);
+extern "C" long c_interface_sem_smoke(void);
+
+namespace fsup {
+namespace {
+
+class CInterfaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { pt_reinit(); }
+};
+
+TEST_F(CInterfaceTest, ThreadsAndMutexesFromPureC) { EXPECT_EQ(0, c_interface_smoke()); }
+
+TEST_F(CInterfaceTest, SemaphoresFromPureC) { EXPECT_EQ(0, c_interface_sem_smoke()); }
+
+}  // namespace
+}  // namespace fsup

@@ -1,0 +1,234 @@
+// Cleanup handlers (function-based, per the paper's language-independence argument) and
+// thread-specific data.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <vector>
+
+#include "src/core/pthread.hpp"
+
+namespace fsup {
+namespace {
+
+class CleanupTsdTest : public ::testing::Test {
+ protected:
+  void SetUp() override { pt_reinit(); }
+};
+
+std::vector<int>* g_order = nullptr;
+
+void Record1(void*) { g_order->push_back(1); }
+void Record2(void*) { g_order->push_back(2); }
+void Record3(void*) { g_order->push_back(3); }
+
+TEST_F(CleanupTsdTest, CleanupRunsNewestFirstOnExit) {
+  std::vector<int> order;
+  g_order = &order;
+  auto body = +[](void*) -> void* {
+    pt_cleanup_push(&Record1, nullptr);
+    pt_cleanup_push(&Record2, nullptr);
+    pt_cleanup_push(&Record3, nullptr);
+    pt_exit(nullptr);
+  };
+  pt_thread_t t;
+  ASSERT_EQ(0, pt_create(&t, nullptr, body, nullptr));
+  ASSERT_EQ(0, pt_join(t, nullptr));
+  ASSERT_EQ(3u, order.size());
+  EXPECT_EQ(3, order[0]);
+  EXPECT_EQ(2, order[1]);
+  EXPECT_EQ(1, order[2]);
+}
+
+TEST_F(CleanupTsdTest, PopWithoutExecuteSkipsHandler) {
+  std::vector<int> order;
+  g_order = &order;
+  auto body = +[](void*) -> void* {
+    pt_cleanup_push(&Record1, nullptr);
+    pt_cleanup_push(&Record2, nullptr);
+    EXPECT_EQ(0, pt_cleanup_pop(false));  // drops Record2 silently
+    pt_exit(nullptr);
+  };
+  pt_thread_t t;
+  ASSERT_EQ(0, pt_create(&t, nullptr, body, nullptr));
+  ASSERT_EQ(0, pt_join(t, nullptr));
+  ASSERT_EQ(1u, order.size());
+  EXPECT_EQ(1, order[0]);
+}
+
+TEST_F(CleanupTsdTest, PopWithExecuteRunsHandler) {
+  std::vector<int> order;
+  g_order = &order;
+  auto body = +[](void*) -> void* {
+    pt_cleanup_push(&Record1, nullptr);
+    EXPECT_EQ(0, pt_cleanup_pop(true));
+    return nullptr;  // normal return: nothing left on the stack
+  };
+  pt_thread_t t;
+  ASSERT_EQ(0, pt_create(&t, nullptr, body, nullptr));
+  ASSERT_EQ(0, pt_join(t, nullptr));
+  ASSERT_EQ(1u, order.size());
+  EXPECT_EQ(1, order[0]);
+}
+
+TEST_F(CleanupTsdTest, PopEmptyStackIsEinval) {
+  EXPECT_EQ(EINVAL, pt_cleanup_pop(true));
+}
+
+TEST_F(CleanupTsdTest, CleanupRunsOnNormalReturnToo) {
+  // Entry-function return goes through pt_exit, so leftover handlers still run.
+  std::vector<int> order;
+  g_order = &order;
+  auto body = +[](void*) -> void* {
+    pt_cleanup_push(&Record1, nullptr);
+    return nullptr;
+  };
+  pt_thread_t t;
+  ASSERT_EQ(0, pt_create(&t, nullptr, body, nullptr));
+  ASSERT_EQ(0, pt_join(t, nullptr));
+  ASSERT_EQ(1u, order.size());
+}
+
+// -- TSD ---------------------------------------------------------------------------------
+
+TEST_F(CleanupTsdTest, KeyCreateSetGet) {
+  pt_key_t key;
+  ASSERT_EQ(0, pt_key_create(&key, nullptr));
+  EXPECT_EQ(nullptr, pt_getspecific(key));
+  int value = 7;
+  ASSERT_EQ(0, pt_setspecific(key, &value));
+  EXPECT_EQ(&value, pt_getspecific(key));
+  ASSERT_EQ(0, pt_key_delete(key));
+  EXPECT_EQ(nullptr, pt_getspecific(key));  // deleted key: invalid
+}
+
+TEST_F(CleanupTsdTest, ValuesArePerThread) {
+  pt_key_t key;
+  ASSERT_EQ(0, pt_key_create(&key, nullptr));
+  static pt_key_t k;
+  k = key;
+  int mine = 1;
+  ASSERT_EQ(0, pt_setspecific(k, &mine));
+  auto body = +[](void*) -> void* {
+    EXPECT_EQ(nullptr, pt_getspecific(k));  // fresh slot in the new thread
+    static int theirs = 2;
+    EXPECT_EQ(0, pt_setspecific(k, &theirs));
+    EXPECT_EQ(&theirs, pt_getspecific(k));
+    return nullptr;
+  };
+  pt_thread_t t;
+  ASSERT_EQ(0, pt_create(&t, nullptr, body, nullptr));
+  ASSERT_EQ(0, pt_join(t, nullptr));
+  EXPECT_EQ(&mine, pt_getspecific(k));  // ours untouched
+  pt_key_delete(key);
+}
+
+TEST_F(CleanupTsdTest, DestructorRunsAtThreadExit) {
+  static int destroyed_with = 0;
+  destroyed_with = 0;
+  pt_key_t key;
+  ASSERT_EQ(0, pt_key_create(&key, +[](void* v) {
+    destroyed_with = *static_cast<int*>(v);
+  }));
+  static pt_key_t k;
+  k = key;
+  auto body = +[](void*) -> void* {
+    static int payload = 42;
+    EXPECT_EQ(0, pt_setspecific(k, &payload));
+    return nullptr;
+  };
+  pt_thread_t t;
+  ASSERT_EQ(0, pt_create(&t, nullptr, body, nullptr));
+  ASSERT_EQ(0, pt_join(t, nullptr));
+  EXPECT_EQ(42, destroyed_with);
+  pt_key_delete(key);
+}
+
+TEST_F(CleanupTsdTest, DestructorNotRunForNullValues) {
+  static int runs = 0;
+  runs = 0;
+  pt_key_t key;
+  ASSERT_EQ(0, pt_key_create(&key, +[](void*) { ++runs; }));
+  auto body = +[](void*) -> void* { return nullptr; };
+  pt_thread_t t;
+  ASSERT_EQ(0, pt_create(&t, nullptr, body, nullptr));
+  ASSERT_EQ(0, pt_join(t, nullptr));
+  EXPECT_EQ(0, runs);
+  pt_key_delete(key);
+}
+
+TEST_F(CleanupTsdTest, DestructorSettingNewValueReRuns) {
+  static int runs = 0;
+  static pt_key_t k;
+  runs = 0;
+  ASSERT_EQ(0, pt_key_create(&k, +[](void* v) {
+    ++runs;
+    if (runs == 1) {
+      pt_setspecific(k, v);  // re-arm once: POSIX repeats destructor iteration
+    }
+  }));
+  auto body = +[](void*) -> void* {
+    static int payload = 1;
+    EXPECT_EQ(0, pt_setspecific(k, &payload));
+    return nullptr;
+  };
+  pt_thread_t t;
+  ASSERT_EQ(0, pt_create(&t, nullptr, body, nullptr));
+  ASSERT_EQ(0, pt_join(t, nullptr));
+  EXPECT_EQ(2, runs);
+  pt_key_delete(k);
+}
+
+TEST_F(CleanupTsdTest, KeyExhaustionIsEagain) {
+  std::vector<pt_key_t> keys;
+  pt_key_t key;
+  int rc;
+  while ((rc = pt_key_create(&key, nullptr)) == 0) {
+    keys.push_back(key);
+    ASSERT_LE(keys.size(), static_cast<size_t>(kMaxTsdKeys));
+  }
+  EXPECT_EQ(EAGAIN, rc);
+  EXPECT_EQ(static_cast<size_t>(kMaxTsdKeys), keys.size());
+  for (pt_key_t k2 : keys) {
+    EXPECT_EQ(0, pt_key_delete(k2));
+  }
+}
+
+TEST_F(CleanupTsdTest, InvalidKeyOperations) {
+  EXPECT_EQ(EINVAL, pt_key_delete(-1));
+  EXPECT_EQ(EINVAL, pt_key_delete(kMaxTsdKeys));
+  EXPECT_EQ(EINVAL, pt_setspecific(-1, nullptr));
+  EXPECT_EQ(nullptr, pt_getspecific(12345));
+  EXPECT_EQ(EINVAL, pt_key_create(nullptr, nullptr));
+}
+
+TEST_F(CleanupTsdTest, CancelledThreadRunsCleanupThenTsdDestructors) {
+  static std::vector<int> log;
+  static pt_key_t k;
+  log.clear();
+  ASSERT_EQ(0, pt_key_create(&k, +[](void*) { log.push_back(2); }));
+  static pt_sem_t sem;
+  ASSERT_EQ(0, pt_sem_init(&sem, 0));
+  auto body = +[](void*) -> void* {
+    static int payload = 1;
+    pt_setspecific(k, &payload);
+    pt_cleanup_push(+[](void*) { log.push_back(1); }, nullptr);
+    pt_sem_wait(&sem);  // interruption point: cancelled here
+    return nullptr;
+  };
+  pt_thread_t t;
+  ASSERT_EQ(0, pt_create(&t, nullptr, body, nullptr));
+  pt_yield();
+  ASSERT_EQ(0, pt_cancel(t));
+  void* ret = nullptr;
+  ASSERT_EQ(0, pt_join(t, &ret));
+  EXPECT_EQ(kCanceled, ret);
+  ASSERT_EQ(2u, log.size());
+  EXPECT_EQ(1, log[0]);  // cleanup first
+  EXPECT_EQ(2, log[1]);  // then TSD destructors
+  pt_key_delete(k);
+  pt_sem_destroy(&sem);
+}
+
+}  // namespace
+}  // namespace fsup

@@ -1,0 +1,233 @@
+// Fake calls (paper Figure 3): handler interrupting a conditional wait re-acquires the mutex
+// and terminates the wait with EINTR; errno is preserved across handlers; control redirection
+// (the Ada hook) transfers to a sigsetjmp point instead of the interruption point.
+
+#include <gtest/gtest.h>
+
+#include <csetjmp>
+#include <csignal>
+#include <cerrno>
+
+#include "src/core/attr.hpp"
+#include "src/core/pthread.hpp"
+
+namespace fsup {
+namespace {
+
+class FakeCallTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pt_reinit();
+    g_handler_runs = 0;
+    g_mutex_held_in_handler = false;
+  }
+
+ public:
+  static int g_handler_runs;
+  static bool g_mutex_held_in_handler;
+};
+
+int FakeCallTest::g_handler_runs = 0;
+bool FakeCallTest::g_mutex_held_in_handler = false;
+
+struct CondWaitArg {
+  pt_mutex_t m;
+  pt_cond_t c;
+  int wait_rc = -1;
+  bool mutex_held_after = false;
+};
+
+CondWaitArg* g_cw = nullptr;
+
+void CondWaitHandler(int) {
+  ++FakeCallTest::g_handler_runs;
+  // Figure 3: "If the user handler interrupted a conditional wait, the mutex is reacquired
+  // and the conditional wait terminated" — the wrapper re-locked it before calling us.
+  FakeCallTest::g_mutex_held_in_handler = g_cw->m.holder() == pt_self();
+}
+
+void* CondWaiter(void* ap) {
+  auto* a = static_cast<CondWaitArg*>(ap);
+  EXPECT_EQ(0, pt_mutex_lock(&a->m));
+  a->wait_rc = pt_cond_wait(&a->c, &a->m);
+  a->mutex_held_after = a->m.holder() == pt_self();
+  EXPECT_EQ(0, pt_mutex_unlock(&a->m));
+  return nullptr;
+}
+
+TEST_F(FakeCallTest, HandlerInterruptingCondWaitReacquiresMutexAndTerminatesWait) {
+  CondWaitArg a;
+  g_cw = &a;
+  ASSERT_EQ(0, pt_mutex_init(&a.m));
+  ASSERT_EQ(0, pt_cond_init(&a.c));
+  ASSERT_EQ(0, pt_sigaction(SIGUSR1, &CondWaitHandler, 0));
+  pt_thread_t t;
+  ASSERT_EQ(0, pt_create(&t, nullptr, &CondWaiter, &a));
+  pt_yield();  // waiter blocks in the conditional wait
+  ASSERT_EQ(0, pt_kill(t, SIGUSR1));
+  ASSERT_EQ(0, pt_join(t, nullptr));
+  EXPECT_EQ(1, g_handler_runs);
+  EXPECT_TRUE(g_mutex_held_in_handler);
+  EXPECT_EQ(EINTR, a.wait_rc);
+  EXPECT_TRUE(a.mutex_held_after);  // EINTR contract: the wrapper's lock is still ours
+  pt_cond_destroy(&a.c);
+  pt_mutex_destroy(&a.m);
+}
+
+TEST_F(FakeCallTest, ErrnoPreservedAcrossHandler) {
+  static int observed_after = 0;
+  auto handler = +[](int) {
+    errno = ERANGE;  // clobber inside the handler
+  };
+  ASSERT_EQ(0, pt_sigaction(SIGUSR1, handler, 0));
+  errno = EILSEQ;
+  ASSERT_EQ(0, pt_kill(pt_self(), SIGUSR1));
+  observed_after = errno;
+  EXPECT_EQ(EILSEQ, observed_after);  // Figure 3 steps 2/4: error number saved and restored
+}
+
+TEST_F(FakeCallTest, ErrnoSwappedAcrossThreads) {
+  // The paper loads "UNIX' global error number with the thread's error number" on switch:
+  // each thread keeps an independent errno.
+  auto body = +[](void*) -> void* {
+    errno = ENOENT;
+    pt_yield();
+    return reinterpret_cast<void*>(static_cast<intptr_t>(errno));
+  };
+  errno = EACCES;
+  pt_thread_t t;
+  ASSERT_EQ(0, pt_create(&t, nullptr, body, nullptr));
+  pt_yield();     // child sets ENOENT and yields back
+  errno = EPERM;  // our own value
+  void* child_errno = nullptr;
+  ASSERT_EQ(0, pt_join(t, &child_errno));
+  EXPECT_EQ(ENOENT, static_cast<int>(reinterpret_cast<intptr_t>(child_errno)));
+  EXPECT_EQ(EPERM, errno);
+}
+
+sigjmp_buf g_redirect_env;
+int g_redirect_hits = 0;
+
+void RedirectingHandler(int) {
+  pt_handler_redirect(&g_redirect_env, 7);
+  // Returning from the handler must land at the sigsetjmp point, not the interruption point.
+}
+
+void* RedirectBody(void*) {
+  const int v = sigsetjmp(g_redirect_env, 1);
+  if (v != 0) {
+    ++g_redirect_hits;
+    return reinterpret_cast<void*>(static_cast<intptr_t>(v));
+  }
+  pt_kill(pt_self(), SIGUSR2);
+  // Not reached: the redirect lands at the sigsetjmp above.
+  return nullptr;
+}
+
+TEST_F(FakeCallTest, HandlerRedirectTransfersControl) {
+  // The implementation-defined control redirect (paper: "essential for the Ada runtime").
+  ASSERT_EQ(0, pt_sigaction(SIGUSR2, &RedirectingHandler, 0));
+  g_redirect_hits = 0;
+  pt_thread_t t;
+  ASSERT_EQ(0, pt_create(&t, nullptr, &RedirectBody, nullptr));
+  void* ret = nullptr;
+  ASSERT_EQ(0, pt_join(t, &ret));
+  EXPECT_EQ(7, static_cast<int>(reinterpret_cast<intptr_t>(ret)));
+  EXPECT_EQ(1, g_redirect_hits);
+}
+
+TEST_F(FakeCallTest, RedirectFromFakeCallOnBlockedThread) {
+  // The redirect also works when the handler arrived via a fake call on a suspended thread.
+  struct Arg {
+    pt_sem_t sem;
+    sigjmp_buf env;
+    int landed = 0;
+  };
+  static Arg a;
+  a.landed = 0;
+  ASSERT_EQ(0, pt_sem_init(&a.sem, 0));
+  auto handler = +[](int) { pt_handler_redirect(&a.env, 3); };
+  ASSERT_EQ(0, pt_sigaction(SIGUSR1, handler, 0));
+  auto body = +[](void*) -> void* {
+    if (sigsetjmp(a.env, 1) != 0) {
+      a.landed = 1;
+      return nullptr;  // escaped the semaphore wait entirely
+    }
+    pt_sem_wait(&a.sem);  // blocks forever; only the redirect gets us out
+    return nullptr;
+  };
+  pt_thread_t t;
+  ASSERT_EQ(0, pt_create(&t, nullptr, body, nullptr));
+  pt_yield();  // let it block
+  ASSERT_EQ(0, pt_kill(t, SIGUSR1));
+  ASSERT_EQ(0, pt_join(t, nullptr));
+  EXPECT_EQ(1, a.landed);
+  pt_sem_destroy(&a.sem);
+}
+
+TEST_F(FakeCallTest, NestedHandlersOnOneThread) {
+  static int depth = 0, max_depth = 0;
+  auto inner = +[](int) {
+    ++depth;
+    if (depth > max_depth) {
+      max_depth = depth;
+    }
+    --depth;
+  };
+  auto outer = +[](int) {
+    ++depth;
+    if (depth > max_depth) {
+      max_depth = depth;
+    }
+    pt_kill(pt_self(), SIGUSR2);  // unmasked inner signal: delivered during the handler
+    --depth;
+  };
+  depth = max_depth = 0;
+  ASSERT_EQ(0, pt_sigaction(SIGUSR1, outer, 0));
+  ASSERT_EQ(0, pt_sigaction(SIGUSR2, inner, 0));
+  ASSERT_EQ(0, pt_kill(pt_self(), SIGUSR1));
+  EXPECT_EQ(2, max_depth);
+  EXPECT_EQ(0, depth);
+}
+
+TEST_F(FakeCallTest, HandlerOnThreadBlockedInJoinIsTransparent) {
+  struct Arg {
+    pt_sem_t sem;
+  };
+  static Arg a;
+  ASSERT_EQ(0, pt_sem_init(&a.sem, 0));
+  static int handled = 0;
+  handled = 0;
+  auto handler = +[](int) { ++handled; };
+  ASSERT_EQ(0, pt_sigaction(SIGUSR1, handler, 0));
+
+  auto inner_body = +[](void*) -> void* {
+    pt_sem_wait(&a.sem);
+    return reinterpret_cast<void*>(0x77);
+  };
+  struct JArG {
+    pt_thread_t inner;
+    void* got = nullptr;
+  };
+  static JArG j;
+  auto joiner_body = +[](void*) -> void* {
+    void* ret = nullptr;
+    EXPECT_EQ(0, pt_join(j.inner, &ret));  // must survive the mid-join handler
+    j.got = ret;
+    return nullptr;
+  };
+  ASSERT_EQ(0, pt_create(&j.inner, nullptr, inner_body, nullptr));
+  pt_thread_t joiner;
+  ASSERT_EQ(0, pt_create(&joiner, nullptr, joiner_body, nullptr));
+  pt_yield();  // inner blocks on sem; joiner blocks in join
+  ASSERT_EQ(0, pt_kill(joiner, SIGUSR1));  // fake call onto the join-blocked thread
+  pt_yield();
+  EXPECT_EQ(1, handled);
+  ASSERT_EQ(0, pt_sem_post(&a.sem));
+  ASSERT_EQ(0, pt_join(joiner, nullptr));
+  EXPECT_EQ(reinterpret_cast<void*>(0x77), j.got);
+  pt_sem_destroy(&a.sem);
+}
+
+}  // namespace
+}  // namespace fsup

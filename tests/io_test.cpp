@@ -1,0 +1,200 @@
+// Asynchronous I/O: pt_read/pt_write suspend only the calling thread; other threads keep
+// running; readiness wakes the sleeper from the idle loop's poll.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include "src/core/pthread.hpp"
+
+namespace fsup {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pt_reinit();
+    ASSERT_EQ(0, ::pipe(fds_));
+  }
+  void TearDown() override {
+    ::close(fds_[0]);
+    ::close(fds_[1]);
+  }
+
+  int fds_[2];
+};
+
+TEST_F(IoTest, ReadReturnsAvailableData) {
+  ASSERT_EQ(5, ::write(fds_[1], "hello", 5));
+  char buf[16] = {};
+  EXPECT_EQ(5, pt_read(fds_[0], buf, sizeof(buf)));
+  EXPECT_STREQ("hello", buf);
+}
+
+TEST_F(IoTest, ReadBlocksOnlyTheCallingThread) {
+  struct Arg {
+    int fd;
+    char buf[16] = {};
+    long n = 0;
+  };
+  static Arg a;
+  a = Arg{};
+  a.fd = fds_[0];
+  auto reader = +[](void*) -> void* {
+    a.n = pt_read(a.fd, a.buf, sizeof(a.buf));
+    return nullptr;
+  };
+  pt_thread_t t;
+  ASSERT_EQ(0, pt_create(&t, nullptr, reader, nullptr));
+  pt_yield();  // reader suspends on the empty pipe
+  EXPECT_EQ(0, a.n);
+  // We are clearly still running; produce the data and let the reader finish.
+  ASSERT_EQ(4, ::write(fds_[1], "data", 4));
+  ASSERT_EQ(0, pt_join(t, nullptr));
+  EXPECT_EQ(4, a.n);
+  EXPECT_STREQ("data", a.buf);
+}
+
+TEST_F(IoTest, TwoReadersOnDifferentFdsBothComplete) {
+  int fds2[2];
+  ASSERT_EQ(0, ::pipe(fds2));
+  struct Arg {
+    int fd;
+    long n = 0;
+    char buf[8] = {};
+  };
+  static Arg a1, a2;
+  a1 = Arg{};
+  a2 = Arg{};
+  a1.fd = fds_[0];
+  a2.fd = fds2[0];
+  auto reader = +[](void* ap) -> void* {
+    auto* a = static_cast<Arg*>(ap);
+    a->n = pt_read(a->fd, a->buf, sizeof(a->buf));
+    return nullptr;
+  };
+  pt_thread_t t1, t2;
+  ASSERT_EQ(0, pt_create(&t1, nullptr, reader, &a1));
+  ASSERT_EQ(0, pt_create(&t2, nullptr, reader, &a2));
+  pt_yield();
+  ASSERT_EQ(2, ::write(fds2[1], "BB", 2));  // second pipe first
+  ASSERT_EQ(1, ::write(fds_[1], "A", 1));
+  ASSERT_EQ(0, pt_join(t1, nullptr));
+  ASSERT_EQ(0, pt_join(t2, nullptr));
+  EXPECT_EQ(1, a1.n);
+  EXPECT_EQ(2, a2.n);
+  ::close(fds2[0]);
+  ::close(fds2[1]);
+}
+
+TEST_F(IoTest, WriteToFullPipeSuspendsUntilDrained) {
+  // Shrink the pipe to its minimum and fill it; the writer must suspend, and draining from
+  // the main thread lets it finish.
+  ::fcntl(fds_[1], F_SETPIPE_SZ, 4096);
+  struct Arg {
+    int fd;
+    long total = 0;
+    bool done = false;
+  };
+  static Arg a;
+  a = Arg{};
+  a.fd = fds_[1];
+  auto writer = +[](void*) -> void* {
+    char chunk[1024];
+    std::memset(chunk, 'x', sizeof(chunk));
+    for (int i = 0; i < 16; ++i) {  // 16 KiB into a 4 KiB pipe
+      const long n = pt_write(a.fd, chunk, sizeof(chunk));
+      if (n < 0) {
+        break;
+      }
+      a.total += n;
+    }
+    a.done = true;
+    return nullptr;
+  };
+  pt_thread_t t;
+  ASSERT_EQ(0, pt_create(&t, nullptr, writer, nullptr));
+  pt_yield();  // writer fills the pipe and suspends
+  EXPECT_FALSE(a.done);
+  char sink[2048];
+  long drained = 0;
+  while (!a.done) {
+    const long n = pt_read(fds_[0], sink, sizeof(sink));
+    ASSERT_GT(n, 0);
+    drained += n;
+    pt_yield();
+  }
+  ASSERT_EQ(0, pt_join(t, nullptr));
+  EXPECT_EQ(16 * 1024, a.total);
+  // Drain the remainder.
+  while (drained < a.total) {
+    const long n = pt_read(fds_[0], sink, sizeof(sink));
+    ASSERT_GT(n, 0);
+    drained += n;
+  }
+  EXPECT_EQ(a.total, drained);
+}
+
+TEST_F(IoTest, ReadInterruptedByHandlerReturnsEintr) {
+  static int handled = 0;
+  handled = 0;
+  auto handler = +[](int) { ++handled; };
+  ASSERT_EQ(0, pt_sigaction(SIGUSR1, handler, 0));
+  struct Arg {
+    int fd;
+    long n = 0;
+    int err = 0;
+  };
+  static Arg a;
+  a = Arg{};
+  a.fd = fds_[0];
+  auto reader = +[](void*) -> void* {
+    char buf[8];
+    a.n = pt_read(a.fd, buf, sizeof(buf));
+    a.err = errno;
+    return nullptr;
+  };
+  pt_thread_t t;
+  ASSERT_EQ(0, pt_create(&t, nullptr, reader, nullptr));
+  pt_yield();
+  ASSERT_EQ(0, pt_kill(t, SIGUSR1));
+  ASSERT_EQ(0, pt_join(t, nullptr));
+  EXPECT_EQ(1, handled);
+  EXPECT_EQ(-1, a.n);
+  EXPECT_EQ(EINTR, a.err);
+}
+
+TEST_F(IoTest, CancellationCutsReadShort) {
+  struct Arg {
+    int fd;
+  };
+  static Arg a;
+  a.fd = fds_[0];
+  auto reader = +[](void*) -> void* {
+    char buf[8];
+    pt_read(a.fd, buf, sizeof(buf));  // interruption point while suspended
+    ADD_FAILURE() << "not reached";
+    return nullptr;
+  };
+  pt_thread_t t;
+  ASSERT_EQ(0, pt_create(&t, nullptr, reader, nullptr));
+  pt_yield();
+  ASSERT_EQ(0, pt_cancel(t));
+  void* ret = nullptr;
+  ASSERT_EQ(0, pt_join(t, &ret));
+  EXPECT_EQ(kCanceled, ret);
+}
+
+TEST_F(IoTest, EofReturnsZero) {
+  ::close(fds_[1]);
+  char buf[8];
+  EXPECT_EQ(0, pt_read(fds_[0], buf, sizeof(buf)));
+}
+
+}  // namespace
+}  // namespace fsup

@@ -1,0 +1,117 @@
+// Restartable atomic sequences (paper Figure 4): the three lock primitives, the registry,
+// and PC-rewind behaviour under real signal interruption.
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdint>
+
+#include "src/arch/ras.hpp"
+#include "src/core/pthread.hpp"
+#include "src/sync/mutex.hpp"
+#include "src/util/dual_loop_timer.hpp"
+
+namespace fsup {
+namespace {
+
+class RasTest : public ::testing::Test {
+ protected:
+  void SetUp() override { pt_reinit(); }
+};
+
+TEST_F(RasTest, RasLockAcquiresAndRecordsOwner) {
+  volatile uint8_t lock = 0;
+  void* volatile owner = nullptr;
+  int self = 0;
+  EXPECT_EQ(0, fsup_ras_lock(&lock, &self, &owner));
+  EXPECT_EQ(1, lock);
+  EXPECT_EQ(&self, owner);
+}
+
+TEST_F(RasTest, RasLockFailsWhenHeld) {
+  volatile uint8_t lock = 1;
+  void* volatile owner = nullptr;
+  int self = 0;
+  EXPECT_EQ(1, fsup_ras_lock(&lock, &self, &owner));
+  EXPECT_EQ(nullptr, owner);  // not overwritten on failure
+}
+
+TEST_F(RasTest, RasUnlockReleasesWhenNoWaiters) {
+  volatile uint8_t lock = 1;
+  volatile uint8_t has_waiters = 0;
+  EXPECT_EQ(0, fsup_ras_unlock(&lock, &has_waiters));
+  EXPECT_EQ(0, lock);
+}
+
+TEST_F(RasTest, RasUnlockDivertsWithWaiters) {
+  volatile uint8_t lock = 1;
+  volatile uint8_t has_waiters = 1;
+  EXPECT_EQ(1, fsup_ras_unlock(&lock, &has_waiters));
+  EXPECT_EQ(1, lock);  // untouched: the kernel handoff path must run
+}
+
+TEST_F(RasTest, XchgLockReturnsPreviousValue) {
+  volatile uint8_t lock = 0;
+  EXPECT_EQ(0, fsup_xchg_lock(&lock));
+  EXPECT_EQ(1, lock);
+  EXPECT_EQ(1, fsup_xchg_lock(&lock));
+}
+
+TEST_F(RasTest, CasLockAcquiresAndReportsOwner) {
+  void* volatile word = nullptr;
+  int me = 0, other = 0;
+  EXPECT_EQ(nullptr, fsup_cas_lock(&word, &me));  // acquired
+  EXPECT_EQ(&me, word);                           // owner == lock word, one instruction
+  EXPECT_EQ(&me, fsup_cas_lock(&word, &other));   // held: returns current owner
+}
+
+TEST_F(RasTest, SequencesAreRegistered) {
+  EXPECT_TRUE(ras::Inside(reinterpret_cast<uintptr_t>(fsup_ras_lock_begin)));
+  EXPECT_FALSE(ras::Inside(reinterpret_cast<uintptr_t>(fsup_ras_lock_end)));
+  EXPECT_TRUE(ras::Inside(reinterpret_cast<uintptr_t>(fsup_ras_unlock_begin)));
+  EXPECT_FALSE(ras::Inside(reinterpret_cast<uintptr_t>(&ras::Register)));
+}
+
+TEST_F(RasTest, RewindMovesPcToSequenceStart) {
+  auto begin = reinterpret_cast<uintptr_t>(fsup_ras_lock_begin);
+  uintptr_t pc = begin + 3;  // somewhere inside
+  EXPECT_TRUE(ras::RewindIfInside(&pc));
+  EXPECT_EQ(begin, pc);
+  uintptr_t outside = reinterpret_cast<uintptr_t>(fsup_ras_lock_end) + 8;
+  EXPECT_FALSE(ras::RewindIfInside(&outside));
+}
+
+TEST_F(RasTest, MutexFastPathSurvivesSignalStorm) {
+  // Hammer the RAS-based mutex fast path while a real interval timer fires as fast as the
+  // kernel allows. Any lost restart shows up as a corrupted counter or a stuck lock.
+  pt_mutex_t m;
+  ASSERT_EQ(0, pt_mutex_init(&m));
+  static volatile int alarms = 0;
+  alarms = 0;
+  auto handler = +[](int) { alarms = alarms + 1; };
+  ASSERT_EQ(0, pt_sigaction(SIGALRM, handler, 0));
+
+  long counter = 0;
+  const int64_t until = NowNs() + 300 * 1000 * 1000;  // 300ms of hammering
+  while (NowNs() < until) {
+    const int before = alarms;
+    // 50µs: long enough that the arm call returns before delivery, short enough that
+    // thousands of interrupts land inside the lock/unlock hammering below.
+    ASSERT_EQ(0, pt_alarm(50 * 1000));
+    while (alarms == before && NowNs() < until) {
+      for (int i = 0; i < 200; ++i) {
+        ASSERT_EQ(0, pt_mutex_lock(&m));
+        ++counter;
+        ASSERT_EQ(0, pt_mutex_unlock(&m));
+      }
+    }
+  }
+  EXPECT_GT(alarms, 3);  // the storm really happened
+  EXPECT_EQ(nullptr, m.holder());
+  EXPECT_EQ(0, m.lock_word);
+  EXPECT_GT(counter, 0);
+  pt_mutex_destroy(&m);
+}
+
+}  // namespace
+}  // namespace fsup

@@ -1,0 +1,148 @@
+// Scheduling policy API: priority changes at runtime, policy switching, preemption rules,
+// property-style sweeps over the priority space (TEST_P).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/attr.hpp"
+#include "src/core/pthread.hpp"
+
+namespace fsup {
+namespace {
+
+class SchedTest : public ::testing::Test {
+ protected:
+  void SetUp() override { pt_reinit(); }
+};
+
+TEST_F(SchedTest, SetPrioTakesEffectImmediately) {
+  ASSERT_EQ(0, pt_setprio(pt_self(), 20));
+  int p = -1;
+  ASSERT_EQ(0, pt_getprio(pt_self(), &p));
+  EXPECT_EQ(20, p);
+}
+
+TEST_F(SchedTest, RaisingAnotherThreadsPrioPreemptsUs) {
+  static bool child_ran = false;
+  child_ran = false;
+  auto body = +[](void*) -> void* {
+    child_ran = true;
+    return nullptr;
+  };
+  ThreadAttr lo = MakeThreadAttr(kDefaultPrio - 1);
+  pt_thread_t t;
+  ASSERT_EQ(0, pt_create(&t, &lo, body, nullptr));
+  EXPECT_FALSE(child_ran);
+  ASSERT_EQ(0, pt_setprio(t, kDefaultPrio + 1));  // now outranks us: runs at once
+  EXPECT_TRUE(child_ran);
+  ASSERT_EQ(0, pt_join(t, nullptr));
+}
+
+TEST_F(SchedTest, LoweringOwnPrioYieldsToNewTop) {
+  static bool other_ran = false;
+  other_ran = false;
+  auto body = +[](void*) -> void* {
+    other_ran = true;
+    return nullptr;
+  };
+  ThreadAttr mid = MakeThreadAttr(kDefaultPrio - 1);
+  pt_thread_t t;
+  ASSERT_EQ(0, pt_create(&t, &mid, body, nullptr));
+  EXPECT_FALSE(other_ran);
+  ASSERT_EQ(0, pt_setprio(pt_self(), kDefaultPrio - 2));  // sink below it
+  EXPECT_TRUE(other_ran);
+  ASSERT_EQ(0, pt_join(t, nullptr));
+}
+
+TEST_F(SchedTest, PolicyGetSet) {
+  SchedPolicy p;
+  ASSERT_EQ(0, pt_getschedpolicy(pt_self(), &p));
+  EXPECT_EQ(SchedPolicy::kFifo, p);
+  ASSERT_EQ(0, pt_setschedpolicy(pt_self(), SchedPolicy::kRr));
+  ASSERT_EQ(0, pt_getschedpolicy(pt_self(), &p));
+  EXPECT_EQ(SchedPolicy::kRr, p);
+  ASSERT_EQ(0, pt_setschedpolicy(pt_self(), SchedPolicy::kFifo));
+}
+
+TEST_F(SchedTest, InvalidTargetsRejected) {
+  EXPECT_EQ(ESRCH, pt_setprio(nullptr, 5));
+  EXPECT_EQ(ESRCH, pt_getprio(nullptr, nullptr));
+  int p;
+  EXPECT_EQ(EINVAL, pt_getprio(pt_self(), nullptr));
+  (void)p;
+}
+
+// Property sweep: for every pair (creator priority, child priority) the child runs before
+// pt_create returns iff child > creator.
+class PrioPairTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  void SetUp() override { pt_reinit(); }
+};
+
+TEST_P(PrioPairTest, ChildRunsAtCreationIffStrictlyHigher) {
+  const int creator = std::get<0>(GetParam());
+  const int child = std::get<1>(GetParam());
+  ASSERT_EQ(0, pt_setprio(pt_self(), creator));
+  static bool ran = false;
+  ran = false;
+  auto body = +[](void*) -> void* {
+    ran = true;
+    return nullptr;
+  };
+  ThreadAttr a = MakeThreadAttr(child);
+  pt_thread_t t;
+  ASSERT_EQ(0, pt_create(&t, &a, body, nullptr));
+  EXPECT_EQ(child > creator, ran);
+  ASSERT_EQ(0, pt_join(t, nullptr));
+  EXPECT_TRUE(ran);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PrioMatrix, PrioPairTest,
+    ::testing::Combine(::testing::Values(4, 10, 16, 28), ::testing::Values(2, 10, 17, 31)));
+
+// Property sweep: with N same-priority FIFO threads, yield order is a stable round-robin for
+// any N.
+class FairnessTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { pt_reinit(); }
+};
+
+TEST_P(FairnessTest, YieldRoundRobinIsFairForNThreads) {
+  const int n = GetParam();
+  static std::vector<int>* order;
+  std::vector<int> local;
+  order = &local;
+  struct Arg {
+    int id;
+  };
+  std::vector<Arg> args(n);
+  auto body = +[](void* ap) -> void* {
+    const int id = static_cast<Arg*>(ap)->id;
+    for (int r = 0; r < 3; ++r) {
+      order->push_back(id);
+      pt_yield();
+    }
+    return nullptr;
+  };
+  std::vector<pt_thread_t> ts(n);
+  for (int i = 0; i < n; ++i) {
+    args[i].id = i;
+    ASSERT_EQ(0, pt_create(&ts[i], nullptr, body, &args[i]));
+  }
+  for (auto& t : ts) {
+    ASSERT_EQ(0, pt_join(t, nullptr));
+  }
+  ASSERT_EQ(static_cast<size_t>(3 * n), local.size());
+  for (int r = 0; r < 3; ++r) {
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(i, local[static_cast<size_t>(r * n + i)]) << "round " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FairnessTest, ::testing::Values(2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace fsup

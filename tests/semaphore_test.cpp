@@ -1,0 +1,146 @@
+// Counting semaphores (mutex + cond layering, paper [17]).
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <vector>
+
+#include "src/core/pthread.hpp"
+
+namespace fsup {
+namespace {
+
+class SemTest : public ::testing::Test {
+ protected:
+  void SetUp() override { pt_reinit(); }
+};
+
+TEST_F(SemTest, InitialValueRespected) {
+  pt_sem_t s;
+  ASSERT_EQ(0, pt_sem_init(&s, 3));
+  int v = -1;
+  ASSERT_EQ(0, pt_sem_getvalue(&s, &v));
+  EXPECT_EQ(3, v);
+  EXPECT_EQ(0, pt_sem_wait(&s));
+  EXPECT_EQ(0, pt_sem_wait(&s));
+  EXPECT_EQ(0, pt_sem_wait(&s));
+  ASSERT_EQ(0, pt_sem_getvalue(&s, &v));
+  EXPECT_EQ(0, v);
+  EXPECT_EQ(EAGAIN, pt_sem_trywait(&s));
+  EXPECT_EQ(0, pt_sem_post(&s));
+  EXPECT_EQ(0, pt_sem_trywait(&s));
+  EXPECT_EQ(0, pt_sem_destroy(&s));
+}
+
+TEST_F(SemTest, NegativeInitialRejected) {
+  pt_sem_t s;
+  EXPECT_EQ(EINVAL, pt_sem_init(&s, -1));
+  EXPECT_EQ(EINVAL, pt_sem_wait(nullptr));
+}
+
+TEST_F(SemTest, PWakesBlockedWaiter) {
+  pt_sem_t s;
+  ASSERT_EQ(0, pt_sem_init(&s, 0));
+  struct Arg {
+    pt_sem_t* s;
+    bool passed = false;
+  } arg{&s};
+  auto body = +[](void* ap) -> void* {
+    auto* a = static_cast<Arg*>(ap);
+    EXPECT_EQ(0, pt_sem_wait(a->s));
+    a->passed = true;
+    return nullptr;
+  };
+  pt_thread_t t;
+  ASSERT_EQ(0, pt_create(&t, nullptr, body, &arg));
+  pt_yield();
+  EXPECT_FALSE(arg.passed);
+  ASSERT_EQ(0, pt_sem_post(&s));
+  ASSERT_EQ(0, pt_join(t, nullptr));
+  EXPECT_TRUE(arg.passed);
+  EXPECT_EQ(0, pt_sem_destroy(&s));
+}
+
+TEST_F(SemTest, ProducerConsumerBoundedBuffer) {
+  // Classic two-semaphore bounded buffer; every produced item is consumed exactly once.
+  static constexpr int kItems = 500;
+  static constexpr int kCap = 4;
+  struct Shared {
+    pt_sem_t slots, items;
+    pt_mutex_t m;
+    std::vector<int> buffer;
+    long consumed_sum = 0;
+    int produced = 0;
+  } s;
+  ASSERT_EQ(0, pt_sem_init(&s.slots, kCap));
+  ASSERT_EQ(0, pt_sem_init(&s.items, 0));
+  ASSERT_EQ(0, pt_mutex_init(&s.m));
+
+  auto producer = +[](void* sp) -> void* {
+    auto* s = static_cast<Shared*>(sp);
+    for (int i = 1; i <= kItems; ++i) {
+      EXPECT_EQ(0, pt_sem_wait(&s->slots));
+      EXPECT_EQ(0, pt_mutex_lock(&s->m));
+      s->buffer.push_back(i);
+      EXPECT_LE(static_cast<int>(s->buffer.size()), kCap);
+      EXPECT_EQ(0, pt_mutex_unlock(&s->m));
+      EXPECT_EQ(0, pt_sem_post(&s->items));
+    }
+    return nullptr;
+  };
+  auto consumer = +[](void* sp) -> void* {
+    auto* s = static_cast<Shared*>(sp);
+    for (int i = 0; i < kItems; ++i) {
+      EXPECT_EQ(0, pt_sem_wait(&s->items));
+      EXPECT_EQ(0, pt_mutex_lock(&s->m));
+      EXPECT_FALSE(s->buffer.empty());
+      s->consumed_sum += s->buffer.front();
+      s->buffer.erase(s->buffer.begin());
+      EXPECT_EQ(0, pt_mutex_unlock(&s->m));
+      EXPECT_EQ(0, pt_sem_post(&s->slots));
+    }
+    return nullptr;
+  };
+  pt_thread_t tp, tc;
+  ASSERT_EQ(0, pt_create(&tp, nullptr, producer, &s));
+  ASSERT_EQ(0, pt_create(&tc, nullptr, consumer, &s));
+  ASSERT_EQ(0, pt_join(tp, nullptr));
+  ASSERT_EQ(0, pt_join(tc, nullptr));
+  EXPECT_EQ(static_cast<long>(kItems) * (kItems + 1) / 2, s.consumed_sum);
+  EXPECT_TRUE(s.buffer.empty());
+  pt_sem_destroy(&s.slots);
+  pt_sem_destroy(&s.items);
+  pt_mutex_destroy(&s.m);
+}
+
+TEST_F(SemTest, ValueNeverNegative) {
+  pt_sem_t s;
+  ASSERT_EQ(0, pt_sem_init(&s, 1));
+  constexpr int kThreads = 6;
+  auto body = +[](void* sp) -> void* {
+    auto* s = static_cast<pt_sem_t*>(sp);
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_EQ(0, pt_sem_wait(s));
+      int v = -1;
+      EXPECT_EQ(0, pt_sem_getvalue(s, &v));
+      EXPECT_GE(v, 0);
+      pt_yield();
+      EXPECT_EQ(0, pt_sem_post(s));
+    }
+    return nullptr;
+  };
+  std::vector<pt_thread_t> ts(kThreads);
+  for (auto& t : ts) {
+    ASSERT_EQ(0, pt_create(&t, nullptr, body, &s));
+  }
+  for (auto& t : ts) {
+    ASSERT_EQ(0, pt_join(t, nullptr));
+  }
+  int v = -1;
+  ASSERT_EQ(0, pt_sem_getvalue(&s, &v));
+  EXPECT_EQ(1, v);
+  pt_sem_destroy(&s);
+}
+
+}  // namespace
+}  // namespace fsup

@@ -1,0 +1,169 @@
+// Process-shared synchronization (paper future work): mutual exclusion and semaphore counts
+// must hold across fork boundaries, with only the waiting green thread suspended.
+
+#include <gtest/gtest.h>
+
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "src/core/pthread.hpp"
+#include "src/sync/shared.hpp"
+
+namespace fsup {
+namespace {
+
+class SharedTest : public ::testing::Test {
+ protected:
+  void SetUp() override { pt_reinit(); }
+};
+
+struct SharedRegion {
+  SharedMutex mutex;
+  SharedSemaphore sem;
+  long counter;
+  int child_done;
+};
+
+TEST_F(SharedTest, MutexBasicsWithinOneProcess) {
+  auto* r = static_cast<SharedRegion*>(sync::MapShared(sizeof(SharedRegion)));
+  ASSERT_NE(nullptr, r);
+  ASSERT_EQ(0, sync::SharedMutexInit(&r->mutex));
+  EXPECT_EQ(0, sync::SharedMutexLock(&r->mutex));
+  EXPECT_EQ(EDEADLK, sync::SharedMutexTrylock(&r->mutex));  // same process re-acquire
+  EXPECT_EQ(0, sync::SharedMutexUnlock(&r->mutex));
+  EXPECT_EQ(EPERM, sync::SharedMutexUnlock(&r->mutex));
+  sync::UnmapShared(r, sizeof(SharedRegion));
+}
+
+TEST_F(SharedTest, UninitializedRejected) {
+  SharedMutex m{};
+  EXPECT_EQ(EINVAL, sync::SharedMutexLock(&m));
+  SharedSemaphore s{};
+  EXPECT_EQ(EINVAL, sync::SharedSemPost(&s));
+  EXPECT_EQ(EINVAL, sync::SharedSemInit(nullptr, 0));
+}
+
+TEST_F(SharedTest, MutualExclusionAcrossFork) {
+  auto* r = static_cast<SharedRegion*>(sync::MapShared(sizeof(SharedRegion)));
+  ASSERT_NE(nullptr, r);
+  ASSERT_EQ(0, sync::SharedMutexInit(&r->mutex));
+  r->counter = 0;
+
+  constexpr int kIters = 2000;
+  const pid_t child = ::fork();
+  if (child == 0) {
+    // Child process: its own fsup runtime; hammer the shared counter.
+    for (int i = 0; i < kIters; ++i) {
+      sync::SharedMutexLock(&r->mutex);
+      const long c = r->counter;
+      // widen the race window across processes
+      for (int spin = 0; spin < 16; ++spin) {
+        asm volatile("" ::: "memory");
+      }
+      r->counter = c + 1;
+      sync::SharedMutexUnlock(&r->mutex);
+    }
+    ::_exit(0);
+  }
+  ASSERT_GT(child, 0);
+  for (int i = 0; i < kIters; ++i) {
+    ASSERT_EQ(0, sync::SharedMutexLock(&r->mutex));
+    const long c = r->counter;
+    for (int spin = 0; spin < 16; ++spin) {
+      asm volatile("" ::: "memory");
+    }
+    r->counter = c + 1;
+    ASSERT_EQ(0, sync::SharedMutexUnlock(&r->mutex));
+  }
+  int status = 0;
+  ASSERT_EQ(child, ::waitpid(child, &status, 0));
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  EXPECT_EQ(2L * kIters, r->counter);
+  sync::UnmapShared(r, sizeof(SharedRegion));
+}
+
+TEST_F(SharedTest, SemaphoreHandshakeAcrossFork) {
+  auto* r = static_cast<SharedRegion*>(sync::MapShared(sizeof(SharedRegion)));
+  ASSERT_NE(nullptr, r);
+  ASSERT_EQ(0, sync::SharedSemInit(&r->sem, 0));
+  r->child_done = 0;
+
+  const pid_t child = ::fork();
+  if (child == 0) {
+    // Child: wait for 3 tokens, then acknowledge.
+    for (int i = 0; i < 3; ++i) {
+      sync::SharedSemWait(&r->sem);
+    }
+    r->child_done = 1;
+    ::_exit(0);
+  }
+  ASSERT_GT(child, 0);
+  EXPECT_EQ(0, r->child_done);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(0, sync::SharedSemPost(&r->sem));
+  }
+  int status = 0;
+  ASSERT_EQ(child, ::waitpid(child, &status, 0));
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  EXPECT_EQ(1, r->child_done);
+  sync::UnmapShared(r, sizeof(SharedRegion));
+}
+
+TEST_F(SharedTest, SemTryWaitCounts) {
+  auto* r = static_cast<SharedRegion*>(sync::MapShared(sizeof(SharedRegion)));
+  ASSERT_NE(nullptr, r);
+  ASSERT_EQ(0, sync::SharedSemInit(&r->sem, 2));
+  EXPECT_EQ(0, sync::SharedSemTryWait(&r->sem));
+  EXPECT_EQ(0, sync::SharedSemTryWait(&r->sem));
+  EXPECT_EQ(EAGAIN, sync::SharedSemTryWait(&r->sem));
+  EXPECT_EQ(0, sync::SharedSemPost(&r->sem));
+  EXPECT_EQ(0, sync::SharedSemTryWait(&r->sem));
+  sync::UnmapShared(r, sizeof(SharedRegion));
+}
+
+TEST_F(SharedTest, WaitingOnPeerProcessKeepsOtherThreadsRunning) {
+  // The defining property of the green-thread-friendly design: while one fsup thread waits
+  // for a shared mutex held by ANOTHER PROCESS, other fsup threads keep making progress.
+  auto* r = static_cast<SharedRegion*>(sync::MapShared(sizeof(SharedRegion)));
+  ASSERT_NE(nullptr, r);
+  ASSERT_EQ(0, sync::SharedMutexInit(&r->mutex));
+  ASSERT_EQ(0, sync::SharedSemInit(&r->sem, 0));
+
+  const pid_t child = ::fork();
+  if (child == 0) {
+    sync::SharedMutexLock(&r->mutex);
+    sync::SharedSemPost(&r->sem);  // tell the parent the lock is held
+    ::usleep(100 * 1000);          // hold it for 100ms
+    sync::SharedMutexUnlock(&r->mutex);
+    ::_exit(0);
+  }
+  ASSERT_GT(child, 0);
+  ASSERT_EQ(0, sync::SharedSemWait(&r->sem));  // child holds the mutex now
+
+  static volatile long side_progress = 0;
+  side_progress = 0;
+  auto side_body = +[](void*) -> void* {
+    for (int i = 0; i < 1000; ++i) {
+      side_progress = side_progress + 1;
+      pt_yield();
+    }
+    return nullptr;
+  };
+  pt_thread_t side;
+  ASSERT_EQ(0, pt_create(&side, nullptr, side_body, nullptr));
+
+  ASSERT_EQ(0, sync::SharedMutexLock(&r->mutex));  // waits ~100ms on the child process
+  ASSERT_EQ(0, sync::SharedMutexUnlock(&r->mutex));
+  ASSERT_EQ(0, pt_join(side, nullptr));
+  EXPECT_EQ(1000, side_progress);  // the sibling thread ran to completion during the wait
+
+  int status = 0;
+  ASSERT_EQ(child, ::waitpid(child, &status, 0));
+  sync::UnmapShared(r, sizeof(SharedRegion));
+}
+
+}  // namespace
+}  // namespace fsup

@@ -1,0 +1,211 @@
+// Internal signals: pt_kill, masks, pending sets, handler fake calls, delivery-model
+// precedence (paper's recipient and action models).
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cerrno>
+#include <vector>
+
+#include "src/core/attr.hpp"
+#include "src/core/pthread.hpp"
+
+namespace fsup {
+namespace {
+
+class SignalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pt_reinit();
+    g_hits.clear();
+    g_handler_prio = -1;
+    g_handler_self = nullptr;
+  }
+
+  static std::vector<int> g_hits;
+  static int g_handler_prio;
+  static pt_thread_t g_handler_self;
+
+  static void Recorder(int signo) {
+    g_hits.push_back(signo);
+    pt_getprio(pt_self(), &g_handler_prio);
+    g_handler_self = pt_self();
+  }
+};
+
+std::vector<int> SignalTest::g_hits;
+int SignalTest::g_handler_prio = -1;
+pt_thread_t SignalTest::g_handler_self = nullptr;
+
+TEST_F(SignalTest, KillSelfRunsHandlerSynchronously) {
+  ASSERT_EQ(0, pt_sigaction(SIGUSR1, &Recorder, 0));
+  ASSERT_EQ(0, pt_kill(pt_self(), SIGUSR1));
+  ASSERT_EQ(1u, g_hits.size());
+  EXPECT_EQ(SIGUSR1, g_hits[0]);
+  EXPECT_EQ(pt_self(), g_handler_self);
+}
+
+TEST_F(SignalTest, MaskedSignalPendsUntilUnmask) {
+  ASSERT_EQ(0, pt_sigaction(SIGUSR1, &Recorder, 0));
+  ASSERT_EQ(0, pt_sigmask(SigMaskHow::kBlock, SigBit(SIGUSR1), nullptr));
+  ASSERT_EQ(0, pt_kill(pt_self(), SIGUSR1));
+  EXPECT_TRUE(g_hits.empty());
+  EXPECT_TRUE(SigIsMember(pt_sigpending(), SIGUSR1));
+  ASSERT_EQ(0, pt_sigmask(SigMaskHow::kUnblock, SigBit(SIGUSR1), nullptr));
+  ASSERT_EQ(1u, g_hits.size());
+  EXPECT_FALSE(SigIsMember(pt_sigpending(), SIGUSR1));
+}
+
+TEST_F(SignalTest, FakeCallTargetsSuspendedThread) {
+  ASSERT_EQ(0, pt_sigaction(SIGUSR2, &Recorder, 0));
+  pt_sem_t sem;
+  ASSERT_EQ(0, pt_sem_init(&sem, 0));
+  auto body = +[](void* sp) -> void* {
+    EXPECT_EQ(0, pt_sem_wait(static_cast<pt_sem_t*>(sp)));
+    return nullptr;
+  };
+  ThreadAttr low = MakeThreadAttr(kDefaultPrio - 1, "low");
+  pt_thread_t t;
+  ASSERT_EQ(0, pt_create(&t, &low, body, &sem));
+  pt_yield();
+  ASSERT_EQ(0, pt_setprio(pt_self(), kDefaultPrio - 2));  // let it reach the sem wait
+  ASSERT_EQ(0, pt_setprio(pt_self(), kDefaultPrio));
+  EXPECT_TRUE(g_hits.empty());
+  ASSERT_EQ(0, pt_kill(t, SIGUSR2));  // fake call onto the blocked thread
+  EXPECT_TRUE(g_hits.empty()) << "handler must not run at OUR priority";
+  ASSERT_EQ(0, pt_sem_post(&sem));
+  ASSERT_EQ(0, pt_join(t, nullptr));
+  ASSERT_EQ(1u, g_hits.size());
+  EXPECT_EQ(t, g_handler_self);  // ran on the target thread
+  EXPECT_EQ(kDefaultPrio - 1, g_handler_prio);
+  pt_sem_destroy(&sem);
+}
+
+TEST_F(SignalTest, HandlerMaskAppliedDuringHandler) {
+  static SigSet during{};
+  auto handler = +[](int) {
+    SigSet old;
+    pt_sigmask(SigMaskHow::kBlock, 0, &old);
+    during = old;
+  };
+  ASSERT_EQ(0, pt_sigaction(SIGUSR1, handler, SigBit(SIGUSR2)));
+  ASSERT_EQ(0, pt_kill(pt_self(), SIGUSR1));
+  EXPECT_TRUE(SigIsMember(during, SIGUSR1));  // delivered signal auto-masked
+  EXPECT_TRUE(SigIsMember(during, SIGUSR2));  // sigaction mask applied
+  SigSet now;
+  ASSERT_EQ(0, pt_sigmask(SigMaskHow::kBlock, 0, &now));
+  EXPECT_FALSE(SigIsMember(now, SIGUSR1));  // restored afterwards
+  EXPECT_FALSE(SigIsMember(now, SIGUSR2));
+}
+
+TEST_F(SignalTest, NestedDeliveryAfterHandlerUnmask) {
+  // A signal pended during the handler (because the handler masks it) is delivered when the
+  // handler returns and the mask is restored.
+  static int first_done = 0;
+  static int second_done = 0;
+  auto h2 = +[](int) { second_done = 1; };
+  auto h1 = +[](int) {
+    pt_kill(pt_self(), SIGUSR2);  // masked by our sigaction mask: pends
+    EXPECT_EQ(0, second_done);
+    first_done = 1;
+  };
+  first_done = second_done = 0;
+  ASSERT_EQ(0, pt_sigaction(SIGUSR1, h1, SigBit(SIGUSR2)));
+  ASSERT_EQ(0, pt_sigaction(SIGUSR2, h2, 0));
+  ASSERT_EQ(0, pt_kill(pt_self(), SIGUSR1));
+  EXPECT_EQ(1, first_done);
+  EXPECT_EQ(1, second_done);
+}
+
+TEST_F(SignalTest, IgnoredSignalDiscarded) {
+  ASSERT_EQ(0, pt_sigignore(SIGUSR1));
+  ASSERT_EQ(0, pt_kill(pt_self(), SIGUSR1));
+  EXPECT_TRUE(g_hits.empty());
+  EXPECT_FALSE(SigIsMember(pt_sigpending(), SIGUSR1));
+}
+
+TEST_F(SignalTest, InvalidSignalsRejected) {
+  EXPECT_EQ(EINVAL, pt_kill(pt_self(), 0));
+  EXPECT_EQ(EINVAL, pt_kill(pt_self(), SIGKILL));
+  EXPECT_EQ(EINVAL, pt_kill(pt_self(), kSigCancel));
+  EXPECT_EQ(EINVAL, pt_kill(pt_self(), 64));
+  EXPECT_EQ(EINVAL, pt_sigaction(SIGKILL, &Recorder, 0));
+}
+
+TEST_F(SignalTest, KillTerminatedThreadIsEsrch) {
+  pt_thread_t t;
+  auto body = +[](void*) -> void* { return nullptr; };
+  ASSERT_EQ(0, pt_create(&t, nullptr, body, nullptr));
+  pt_yield();  // let it terminate (not yet reaped: joinable)
+  EXPECT_EQ(ESRCH, pt_kill(t, SIGUSR1));
+  ASSERT_EQ(0, pt_join(t, nullptr));
+}
+
+TEST_F(SignalTest, VirtualSignalsAboveClassicRangeWork) {
+  // Signals 33..63 exist only inside the library (no OS disposition).
+  ASSERT_EQ(0, pt_sigaction(40, &Recorder, 0));
+  ASSERT_EQ(0, pt_kill(pt_self(), 40));
+  ASSERT_EQ(1u, g_hits.size());
+  EXPECT_EQ(40, g_hits[0]);
+}
+
+TEST_F(SignalTest, HandlerOnReadyThreadRunsWhenDispatched) {
+  ASSERT_EQ(0, pt_sigaction(SIGUSR1, &Recorder, 0));
+  static bool child_entered = false;
+  auto body = +[](void*) -> void* {
+    child_entered = true;
+    pt_yield();
+    return nullptr;
+  };
+  child_entered = false;
+  pt_thread_t t;
+  ASSERT_EQ(0, pt_create(&t, nullptr, body, nullptr));  // ready, never ran
+  ASSERT_EQ(0, pt_kill(t, SIGUSR1));  // fake call pushed onto its pristine boot frame
+  EXPECT_TRUE(g_hits.empty());
+  ASSERT_EQ(0, pt_join(t, nullptr));
+  ASSERT_EQ(1u, g_hits.size());
+  EXPECT_EQ(t, g_handler_self);
+  EXPECT_TRUE(child_entered);  // it still ran its body after the handler
+}
+
+TEST_F(SignalTest, ProcessPendingDeliveredWhenThreadUnmasks) {
+  // All threads mask SIGUSR1 → a directed signal pends on the thread; but a process-level
+  // test needs DeliverToProcess — approximated here by masking, sending, then unmasking.
+  ASSERT_EQ(0, pt_sigaction(SIGUSR1, &Recorder, 0));
+  ASSERT_EQ(0, pt_sigmask(SigMaskHow::kBlock, SigBit(SIGUSR1), nullptr));
+  ASSERT_EQ(0, pt_kill(pt_self(), SIGUSR1));
+  EXPECT_TRUE(g_hits.empty());
+  ASSERT_EQ(0, pt_sigmask(SigMaskHow::kSetMask, 0, nullptr));
+  EXPECT_EQ(1u, g_hits.size());
+}
+
+TEST_F(SignalTest, SignalWakesMutexWaiterWhichRecontends) {
+  // A handler delivered to a thread blocked on a mutex unblocks it for the handler; the
+  // thread then re-contends and still acquires the mutex correctly afterwards.
+  ASSERT_EQ(0, pt_sigaction(SIGUSR1, &Recorder, 0));
+  static pt_mutex_t m;
+  ASSERT_EQ(0, pt_mutex_init(&m));
+  ASSERT_EQ(0, pt_mutex_lock(&m));
+  static bool got_lock = false;
+  got_lock = false;
+  auto body = +[](void*) -> void* {
+    EXPECT_EQ(0, pt_mutex_lock(&m));
+    got_lock = true;
+    EXPECT_EQ(0, pt_mutex_unlock(&m));
+    return nullptr;
+  };
+  pt_thread_t t;
+  ASSERT_EQ(0, pt_create(&t, nullptr, body, nullptr));
+  pt_yield();  // child blocks on m
+  ASSERT_EQ(0, pt_kill(t, SIGUSR1));
+  pt_yield();  // child runs the handler, re-blocks on m
+  ASSERT_EQ(1u, g_hits.size());
+  EXPECT_FALSE(got_lock);
+  ASSERT_EQ(0, pt_mutex_unlock(&m));
+  ASSERT_EQ(0, pt_join(t, nullptr));
+  EXPECT_TRUE(got_lock);
+  pt_mutex_destroy(&m);
+}
+
+}  // namespace
+}  // namespace fsup
