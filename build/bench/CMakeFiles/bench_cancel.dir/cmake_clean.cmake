@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cancel.dir/bench_cancel.cpp.o"
+  "CMakeFiles/bench_cancel.dir/bench_cancel.cpp.o.d"
+  "bench_cancel"
+  "bench_cancel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cancel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inversion.dir/bench_inversion.cpp.o"
+  "CMakeFiles/bench_inversion.dir/bench_inversion.cpp.o.d"
+  "bench_inversion"
+  "bench_inversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perverted.dir/bench_perverted.cpp.o"
+  "CMakeFiles/bench_perverted.dir/bench_perverted.cpp.o.d"
+  "bench_perverted"
+  "bench_perverted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perverted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

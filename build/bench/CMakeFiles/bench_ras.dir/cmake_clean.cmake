@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ras.dir/bench_ras.cpp.o"
+  "CMakeFiles/bench_ras.dir/bench_ras.cpp.o.d"
+  "bench_ras"
+  "bench_ras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_report.dir/table2_report.cpp.o"
+  "CMakeFiles/table2_report.dir/table2_report.cpp.o.d"
+  "table2_report"
+  "table2_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

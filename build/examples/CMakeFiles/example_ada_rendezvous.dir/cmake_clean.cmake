@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ada_rendezvous.dir/ada_rendezvous.cpp.o"
+  "CMakeFiles/example_ada_rendezvous.dir/ada_rendezvous.cpp.o.d"
+  "example_ada_rendezvous"
+  "example_ada_rendezvous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ada_rendezvous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_ada_rendezvous.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dining_philosophers.dir/dining_philosophers.cpp.o"
+  "CMakeFiles/example_dining_philosophers.dir/dining_philosophers.cpp.o.d"
+  "example_dining_philosophers"
+  "example_dining_philosophers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dining_philosophers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multiprocess_shared.dir/multiprocess_shared.cpp.o"
+  "CMakeFiles/example_multiprocess_shared.dir/multiprocess_shared.cpp.o.d"
+  "example_multiprocess_shared"
+  "example_multiprocess_shared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multiprocess_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

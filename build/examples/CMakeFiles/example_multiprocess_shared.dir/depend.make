@@ -1,0 +1,2 @@
+# Empty dependencies file for example_multiprocess_shared.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_perverted_debugging.dir/perverted_debugging.cpp.o"
+  "CMakeFiles/example_perverted_debugging.dir/perverted_debugging.cpp.o.d"
+  "example_perverted_debugging"
+  "example_perverted_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_perverted_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_priority_inversion.dir/priority_inversion.cpp.o"
+  "CMakeFiles/example_priority_inversion.dir/priority_inversion.cpp.o.d"
+  "example_priority_inversion"
+  "example_priority_inversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_priority_inversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_producer_consumer.dir/producer_consumer.cpp.o"
+  "CMakeFiles/example_producer_consumer.dir/producer_consumer.cpp.o.d"
+  "example_producer_consumer"
+  "example_producer_consumer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_producer_consumer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

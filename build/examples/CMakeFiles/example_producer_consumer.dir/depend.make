@@ -1,0 +1,2 @@
+# Empty dependencies file for example_producer_consumer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  "ASM"
+  )
+# The set of files for implicit dependencies of each language:
+set(CMAKE_DEPENDS_CHECK_ASM
+  "/root/repo/src/arch/context.S" "/root/repo/build/src/CMakeFiles/fsup.dir/arch/context.S.o"
+  "/root/repo/src/arch/ras.S" "/root/repo/build/src/CMakeFiles/fsup.dir/arch/ras.S.o"
+  )
+set(CMAKE_ASM_COMPILER_ID "GNU")
+
+# The include file search paths:
+set(CMAKE_ASM_TARGET_INCLUDE_PATH
+  "/root/repo/src/.."
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/context.cpp" "src/CMakeFiles/fsup.dir/arch/context.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/arch/context.cpp.o.d"
+  "/root/repo/src/arch/ras.cpp" "src/CMakeFiles/fsup.dir/arch/ras.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/arch/ras.cpp.o.d"
+  "/root/repo/src/cancel/cancel.cpp" "src/CMakeFiles/fsup.dir/cancel/cancel.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/cancel/cancel.cpp.o.d"
+  "/root/repo/src/cancel/cleanup.cpp" "src/CMakeFiles/fsup.dir/cancel/cleanup.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/cancel/cleanup.cpp.o.d"
+  "/root/repo/src/core/api.cpp" "src/CMakeFiles/fsup.dir/core/api.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/core/api.cpp.o.d"
+  "/root/repo/src/core/attr.cpp" "src/CMakeFiles/fsup.dir/core/attr.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/core/attr.cpp.o.d"
+  "/root/repo/src/core/cinterface.cpp" "src/CMakeFiles/fsup.dir/core/cinterface.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/core/cinterface.cpp.o.d"
+  "/root/repo/src/core/init.cpp" "src/CMakeFiles/fsup.dir/core/init.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/core/init.cpp.o.d"
+  "/root/repo/src/core/jmp.cpp" "src/CMakeFiles/fsup.dir/core/jmp.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/core/jmp.cpp.o.d"
+  "/root/repo/src/debug/introspect.cpp" "src/CMakeFiles/fsup.dir/debug/introspect.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/debug/introspect.cpp.o.d"
+  "/root/repo/src/debug/trace.cpp" "src/CMakeFiles/fsup.dir/debug/trace.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/debug/trace.cpp.o.d"
+  "/root/repo/src/hostos/unix_if.cpp" "src/CMakeFiles/fsup.dir/hostos/unix_if.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/hostos/unix_if.cpp.o.d"
+  "/root/repo/src/io/io.cpp" "src/CMakeFiles/fsup.dir/io/io.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/io/io.cpp.o.d"
+  "/root/repo/src/kernel/dispatcher.cpp" "src/CMakeFiles/fsup.dir/kernel/dispatcher.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/kernel/dispatcher.cpp.o.d"
+  "/root/repo/src/kernel/kernel.cpp" "src/CMakeFiles/fsup.dir/kernel/kernel.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/kernel/kernel.cpp.o.d"
+  "/root/repo/src/kernel/ready_queue.cpp" "src/CMakeFiles/fsup.dir/kernel/ready_queue.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/kernel/ready_queue.cpp.o.d"
+  "/root/repo/src/kernel/stack_pool.cpp" "src/CMakeFiles/fsup.dir/kernel/stack_pool.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/kernel/stack_pool.cpp.o.d"
+  "/root/repo/src/kernel/tcb.cpp" "src/CMakeFiles/fsup.dir/kernel/tcb.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/kernel/tcb.cpp.o.d"
+  "/root/repo/src/libc/reentrant.cpp" "src/CMakeFiles/fsup.dir/libc/reentrant.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/libc/reentrant.cpp.o.d"
+  "/root/repo/src/sched/perverted.cpp" "src/CMakeFiles/fsup.dir/sched/perverted.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/sched/perverted.cpp.o.d"
+  "/root/repo/src/sched/policy.cpp" "src/CMakeFiles/fsup.dir/sched/policy.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/sched/policy.cpp.o.d"
+  "/root/repo/src/signals/fake_call.cpp" "src/CMakeFiles/fsup.dir/signals/fake_call.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/signals/fake_call.cpp.o.d"
+  "/root/repo/src/signals/sigmodel.cpp" "src/CMakeFiles/fsup.dir/signals/sigmodel.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/signals/sigmodel.cpp.o.d"
+  "/root/repo/src/signals/sigwait.cpp" "src/CMakeFiles/fsup.dir/signals/sigwait.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/signals/sigwait.cpp.o.d"
+  "/root/repo/src/signals/timers.cpp" "src/CMakeFiles/fsup.dir/signals/timers.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/signals/timers.cpp.o.d"
+  "/root/repo/src/signals/universal_handler.cpp" "src/CMakeFiles/fsup.dir/signals/universal_handler.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/signals/universal_handler.cpp.o.d"
+  "/root/repo/src/sync/barrier.cpp" "src/CMakeFiles/fsup.dir/sync/barrier.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/sync/barrier.cpp.o.d"
+  "/root/repo/src/sync/cond.cpp" "src/CMakeFiles/fsup.dir/sync/cond.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/sync/cond.cpp.o.d"
+  "/root/repo/src/sync/mutex.cpp" "src/CMakeFiles/fsup.dir/sync/mutex.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/sync/mutex.cpp.o.d"
+  "/root/repo/src/sync/once.cpp" "src/CMakeFiles/fsup.dir/sync/once.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/sync/once.cpp.o.d"
+  "/root/repo/src/sync/rwlock.cpp" "src/CMakeFiles/fsup.dir/sync/rwlock.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/sync/rwlock.cpp.o.d"
+  "/root/repo/src/sync/semaphore.cpp" "src/CMakeFiles/fsup.dir/sync/semaphore.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/sync/semaphore.cpp.o.d"
+  "/root/repo/src/sync/shared.cpp" "src/CMakeFiles/fsup.dir/sync/shared.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/sync/shared.cpp.o.d"
+  "/root/repo/src/tsd/tsd.cpp" "src/CMakeFiles/fsup.dir/tsd/tsd.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/tsd/tsd.cpp.o.d"
+  "/root/repo/src/util/dual_loop_timer.cpp" "src/CMakeFiles/fsup.dir/util/dual_loop_timer.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/util/dual_loop_timer.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/fsup.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/fsup.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/fsup.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/fsup.dir/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

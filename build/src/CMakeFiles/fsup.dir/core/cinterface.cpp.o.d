@@ -1,0 +1,44 @@
+src/CMakeFiles/fsup.dir/core/cinterface.cpp.o: \
+ /root/repo/src/core/cinterface.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/../src/core/cinterface.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
+ /usr/include/x86_64-linux-gnu/bits/libc-header-start.h \
+ /usr/include/features.h /usr/include/features-time64.h \
+ /usr/include/x86_64-linux-gnu/bits/wordsize.h \
+ /usr/include/x86_64-linux-gnu/bits/timesize.h \
+ /usr/include/x86_64-linux-gnu/sys/cdefs.h \
+ /usr/include/x86_64-linux-gnu/bits/long-double.h \
+ /usr/include/x86_64-linux-gnu/gnu/stubs.h \
+ /usr/include/x86_64-linux-gnu/gnu/stubs-64.h \
+ /usr/include/x86_64-linux-gnu/bits/types.h \
+ /usr/include/x86_64-linux-gnu/bits/typesizes.h \
+ /usr/include/x86_64-linux-gnu/bits/time64.h \
+ /usr/include/x86_64-linux-gnu/bits/wchar.h \
+ /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
+ /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
+ /usr/include/c++/12/cerrno \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/cpu_defines.h \
+ /usr/include/c++/12/pstl/pstl_config.h /usr/include/errno.h \
+ /usr/include/x86_64-linux-gnu/bits/errno.h /usr/include/linux/errno.h \
+ /usr/include/x86_64-linux-gnu/asm/errno.h \
+ /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
+ /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
+ /usr/include/c++/12/new /usr/include/c++/12/bits/exception.h \
+ /root/repo/src/../src/core/pthread.hpp /usr/include/c++/12/csetjmp \
+ /usr/include/setjmp.h /usr/include/x86_64-linux-gnu/bits/setjmp.h \
+ /usr/include/x86_64-linux-gnu/bits/types/struct___jmp_buf_tag.h \
+ /usr/include/x86_64-linux-gnu/bits/types/__sigset_t.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/cstdint \
+ /root/repo/src/../src/kernel/tcb.hpp \
+ /root/repo/src/../src/arch/context.hpp \
+ /root/repo/src/../src/kernel/types.hpp \
+ /root/repo/src/../src/util/intrusive_list.hpp \
+ /root/repo/src/../src/util/assert.hpp \
+ /root/repo/src/../src/sync/barrier.hpp \
+ /root/repo/src/../src/sync/cond.hpp /root/repo/src/../src/sync/mutex.hpp \
+ /root/repo/src/../src/sync/once.hpp \
+ /root/repo/src/../src/sync/rwlock.hpp \
+ /root/repo/src/../src/sync/semaphore.hpp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barrier_once_test.dir/barrier_once_test.cpp.o"
+  "CMakeFiles/barrier_once_test.dir/barrier_once_test.cpp.o.d"
+  "barrier_once_test"
+  "barrier_once_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barrier_once_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

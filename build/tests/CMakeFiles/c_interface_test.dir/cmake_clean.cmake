@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c_interface_test.dir/c_interface_impl.c.o"
+  "CMakeFiles/c_interface_test.dir/c_interface_impl.c.o.d"
+  "CMakeFiles/c_interface_test.dir/c_interface_test.cpp.o"
+  "CMakeFiles/c_interface_test.dir/c_interface_test.cpp.o.d"
+  "c_interface_test"
+  "c_interface_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang C CXX)
+  include(CMakeFiles/c_interface_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

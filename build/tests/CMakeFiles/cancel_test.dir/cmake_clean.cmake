@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cancel_test.dir/cancel_test.cpp.o"
+  "CMakeFiles/cancel_test.dir/cancel_test.cpp.o.d"
+  "cancel_test"
+  "cancel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cancel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleanup_tsd_test.dir/cleanup_tsd_test.cpp.o"
+  "CMakeFiles/cleanup_tsd_test.dir/cleanup_tsd_test.cpp.o.d"
+  "cleanup_tsd_test"
+  "cleanup_tsd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleanup_tsd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cond_test.dir/cond_test.cpp.o"
+  "CMakeFiles/cond_test.dir/cond_test.cpp.o.d"
+  "cond_test"
+  "cond_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cond_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

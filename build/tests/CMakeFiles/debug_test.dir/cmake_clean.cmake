@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_test.dir/debug_test.cpp.o"
+  "CMakeFiles/debug_test.dir/debug_test.cpp.o.d"
+  "debug_test"
+  "debug_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

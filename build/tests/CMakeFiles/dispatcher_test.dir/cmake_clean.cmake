@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dispatcher_test.dir/dispatcher_test.cpp.o"
+  "CMakeFiles/dispatcher_test.dir/dispatcher_test.cpp.o.d"
+  "dispatcher_test"
+  "dispatcher_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dispatcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

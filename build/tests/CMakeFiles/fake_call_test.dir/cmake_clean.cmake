@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fake_call_test.dir/fake_call_test.cpp.o"
+  "CMakeFiles/fake_call_test.dir/fake_call_test.cpp.o.d"
+  "fake_call_test"
+  "fake_call_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fake_call_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libc_r_test.dir/libc_r_test.cpp.o"
+  "CMakeFiles/libc_r_test.dir/libc_r_test.cpp.o.d"
+  "libc_r_test"
+  "libc_r_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libc_r_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

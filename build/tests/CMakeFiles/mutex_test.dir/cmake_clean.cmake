@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutex_test.dir/mutex_test.cpp.o"
+  "CMakeFiles/mutex_test.dir/mutex_test.cpp.o.d"
+  "mutex_test"
+  "mutex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

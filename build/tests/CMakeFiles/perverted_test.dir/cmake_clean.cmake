@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perverted_test.dir/perverted_test.cpp.o"
+  "CMakeFiles/perverted_test.dir/perverted_test.cpp.o.d"
+  "perverted_test"
+  "perverted_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perverted_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

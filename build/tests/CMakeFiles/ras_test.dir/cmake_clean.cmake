@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ras_test.dir/ras_test.cpp.o"
+  "CMakeFiles/ras_test.dir/ras_test.cpp.o.d"
+  "ras_test"
+  "ras_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwlock_test.dir/rwlock_test.cpp.o"
+  "CMakeFiles/rwlock_test.dir/rwlock_test.cpp.o.d"
+  "rwlock_test"
+  "rwlock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwlock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rwlock_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semaphore_test.dir/semaphore_test.cpp.o"
+  "CMakeFiles/semaphore_test.dir/semaphore_test.cpp.o.d"
+  "semaphore_test"
+  "semaphore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semaphore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

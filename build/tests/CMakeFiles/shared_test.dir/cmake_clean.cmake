@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_test.dir/shared_test.cpp.o"
+  "CMakeFiles/shared_test.dir/shared_test.cpp.o.d"
+  "shared_test"
+  "shared_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

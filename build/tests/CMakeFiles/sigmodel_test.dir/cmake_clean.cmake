@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigmodel_test.dir/sigmodel_test.cpp.o"
+  "CMakeFiles/sigmodel_test.dir/sigmodel_test.cpp.o.d"
+  "sigmodel_test"
+  "sigmodel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

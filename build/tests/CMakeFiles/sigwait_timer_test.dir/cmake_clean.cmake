@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigwait_timer_test.dir/sigwait_timer_test.cpp.o"
+  "CMakeFiles/sigwait_timer_test.dir/sigwait_timer_test.cpp.o.d"
+  "sigwait_timer_test"
+  "sigwait_timer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigwait_timer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

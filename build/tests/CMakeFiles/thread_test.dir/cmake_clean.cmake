@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_test.dir/thread_test.cpp.o"
+  "CMakeFiles/thread_test.dir/thread_test.cpp.o.d"
+  "thread_test"
+  "thread_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
