@@ -69,18 +69,24 @@ bool ValidSignal(int signo) {
 
 namespace api {
 
-void ActivateLazyInKernel(Tcb* t) {
+int ActivateLazyInKernel(Tcb* t) {
   FSUP_ASSERT(kernel::InKernel());
   if (!t->lazy) {
-    return;
+    return 0;
+  }
+  if (t->stack_base == nullptr &&
+      !kernel::ks().pool->AttachStack(t, kDefaultStackSize)) {
+    // The deferred resource is unavailable (exhaustion or an injected fault). Leave the
+    // thread lazy so the caller can report EAGAIN and retry the activation later.
+    return EAGAIN;
   }
   t->lazy = false;
-  if (t->stack_base == nullptr) {
-    const bool ok = kernel::ks().pool->AttachStack(t, kDefaultStackSize);
-    FSUP_CHECK_MSG(ok, "lazy thread activation: stack allocation failed");
-  }
   CtxMake(t->ctx, t->stack_base, t->stack_size, &ThreadStartTramp, t);
   kernel::MakeReady(t);
+  // A signal that arrived while the thread had no stack (failed fake-call install) was left
+  // pending; now that a frame exists it can be delivered.
+  sig::CheckPendingAfterUnmask(t);
+  return 0;
 }
 
 void ExitCurrent(void* retval) {
@@ -224,7 +230,12 @@ int pt_join(pt_thread_t t, void** retval) {
     }
   }
   if (t->lazy) {
-    api::ActivateLazyInKernel(t);  // joining a lazy thread is a "need": activate it
+    // Joining a lazy thread is a "need": activate it. If its deferred stack cannot be
+    // allocated the join cannot ever complete — surface the exhaustion instead of wedging.
+    if (const int rc = api::ActivateLazyInKernel(t); rc != 0) {
+      kernel::Exit();
+      return rc;
+    }
   }
 
   if (t->state != ThreadState::kTerminated) {
@@ -292,9 +303,9 @@ int pt_activate(pt_thread_t t) {
     return ESRCH;
   }
   kernel::Enter();
-  api::ActivateLazyInKernel(t);
+  const int rc = api::ActivateLazyInKernel(t);
   kernel::Exit();
-  return 0;
+  return rc;
 }
 
 pt_thread_t pt_self() {
@@ -468,8 +479,21 @@ int pt_cancel(pt_thread_t t) {
     kernel::Exit();
     return ESRCH;
   }
-  if (t->lazy) {
-    api::ActivateLazyInKernel(t);
+  if (t->lazy && api::ActivateLazyInKernel(t) != 0) {
+    // No stack to run cancellation on: mark the thread terminated directly — it never
+    // started, so there are no cleanup handlers or TSD destructors to honor.
+    t->state = ThreadState::kTerminated;
+    t->retval = kCanceled;
+    Tcb* j;
+    while ((j = t->joiners.PopFront()) != nullptr) {
+      j->join_result = kCanceled;
+      j->join_satisfied = true;
+      kernel::MakeReady(j);
+    }
+    FSUP_CHECK(kernel::ks().live_threads > 0);
+    --kernel::ks().live_threads;
+    kernel::Exit();
+    return 0;
   }
   cancel::RequestInKernel(t);
   kernel::Exit();

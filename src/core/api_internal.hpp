@@ -12,8 +12,9 @@ namespace fsup::api {
 [[noreturn]] void ExitCurrent(void* retval);
 
 // Allocates the stack of a lazily created thread, builds its initial context, and makes it
-// ready. In kernel.
-void ActivateLazyInKernel(Tcb* t);
+// ready. In kernel. Returns 0, or EAGAIN when the deferred stack cannot be allocated (the
+// thread stays lazy and a later activation may succeed).
+int ActivateLazyInKernel(Tcb* t);
 
 }  // namespace fsup::api
 

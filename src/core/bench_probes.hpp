@@ -24,9 +24,12 @@ uint64_t SigprocmaskCount();
 uint64_t SetitimerCount();
 void ResetHostCallCounts();
 
-// Stack pool telemetry: pool hits vs fresh mmaps (the paper's 70%-of-creation-time claim).
+// Stack pool telemetry: pool hits vs fresh mmaps (the paper's 70%-of-creation-time claim),
+// plus the exhaustion counters the fault-injection tests pin down (no leaked pool entries).
 uint64_t StackPoolReuses();
 uint64_t StackPoolMaps();
+uint64_t StackPoolFree();
+uint64_t StackPoolAllocFailures();
 
 }  // namespace fsup::probe
 

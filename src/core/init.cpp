@@ -30,4 +30,8 @@ uint64_t StackPoolReuses() { return kernel::ks().pool->stack_reuses(); }
 
 uint64_t StackPoolMaps() { return kernel::ks().pool->stack_maps(); }
 
+uint64_t StackPoolFree() { return kernel::ks().pool->pooled_stacks(); }
+
+uint64_t StackPoolAllocFailures() { return kernel::ks().pool->alloc_failures(); }
+
 }  // namespace fsup::probe

@@ -59,6 +59,12 @@ const char* Name(Event e) {
       return "signal";
     case Event::kUser:
       return "user";
+    case Event::kFault:
+      return "fault";
+    case Event::kOverflow:
+      return "overflow";
+    case Event::kDeadlock:
+      return "deadlock";
   }
   return "?";
 }

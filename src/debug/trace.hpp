@@ -22,6 +22,9 @@ enum class Event : uint8_t {
   kPrioRestore,   // a = thread id, b = new priority
   kSignal,        // a = thread id, b = signo
   kUser,          // a, b = caller-defined
+  kFault,         // a = hostos::Call id, b = injected errno (fault injector hit)
+  kOverflow,      // a = thread id, b = stack size in bytes (guard-page overflow)
+  kDeadlock,      // a = thread id, b = mutex tag (EDEADLK returned by the graph walk)
 };
 
 struct Record {

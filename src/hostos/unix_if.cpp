@@ -4,6 +4,9 @@
 #include <sys/syscall.h>
 #include <unistd.h>
 
+#include <cerrno>
+
+#include "src/hostos/fault.hpp"
 #include "src/util/assert.hpp"
 
 namespace fsup::hostos {
@@ -12,6 +15,33 @@ namespace {
 uint64_t g_counts[static_cast<int>(Call::kCount)] = {};
 
 void Bump(Call c) { ++g_counts[static_cast<int>(c)]; }
+
+// Cap on EINTR retries per wrapper invocation: keeps an every-invocation injection rule (or a
+// pathological host) from spinning forever while still absorbing any realistic interrupt storm.
+constexpr int kMaxEintrRetries = 64;
+
+// Shared shape of the retrying wrappers: count once per semantic call, then loop — an injected
+// EINTR takes the same retry edge as a real one (exercising exactly the path the injector is
+// meant to test), any other injected errno surfaces, and raw EINTR retries the raw call.
+template <typename RawFn>
+int CountedRetryingCall(Call c, RawFn raw) {
+  Bump(c);
+  for (int attempt = 0;; ++attempt) {
+    const int injected = fault::ShouldFail(c);
+    if (injected != 0) {
+      if (injected == EINTR && attempt < kMaxEintrRetries) {
+        continue;
+      }
+      errno = injected;
+      return -1;
+    }
+    const int rc = raw();
+    if (rc != 0 && errno == EINTR && attempt < kMaxEintrRetries) {
+      continue;
+    }
+    return rc;
+  }
+}
 
 }  // namespace
 
@@ -32,28 +62,37 @@ void ResetCallCounts() {
 }
 
 int Sigaction(int signo, const struct sigaction* act, struct sigaction* old) {
-  Bump(Call::kSigaction);
-  return ::sigaction(signo, act, old);
+  return CountedRetryingCall(Call::kSigaction,
+                             [&] { return ::sigaction(signo, act, old); });
 }
 
 int Sigprocmask(int how, const sigset_t* set, sigset_t* old) {
-  Bump(Call::kSigprocmask);
-  return ::sigprocmask(how, set, old);
+  return CountedRetryingCall(Call::kSigprocmask,
+                             [&] { return ::sigprocmask(how, set, old); });
 }
 
 int Setitimer(int which, const itimerval* value, itimerval* old) {
-  Bump(Call::kSetitimer);
-  return ::setitimer(which, value, old);
+  return CountedRetryingCall(Call::kSetitimer,
+                             [&] { return ::setitimer(which, value, old); });
 }
 
 int SigaltStack(const stack_t* ss, stack_t* old) {
-  Bump(Call::kSigaltstack);
-  return ::sigaltstack(ss, old);
+  return CountedRetryingCall(Call::kSigaltstack,
+                             [&] { return ::sigaltstack(ss, old); });
 }
 
 int Kill(pid_t pid, int signo) {
-  Bump(Call::kKill);
-  return ::kill(pid, signo);
+  return CountedRetryingCall(Call::kKill, [&] { return ::kill(pid, signo); });
+}
+
+int Poll(struct pollfd* fds, nfds_t n, int timeout_ms) {
+  Bump(Call::kPoll);
+  const int injected = fault::ShouldFail(Call::kPoll);
+  if (injected != 0) {
+    errno = injected;
+    return -1;
+  }
+  return ::poll(fds, n, timeout_ms);
 }
 
 size_t PageSize() {
@@ -67,12 +106,23 @@ void* MapStack(size_t usable_size, size_t* mapped_size_out) {
   const size_t total = usable + page;  // one guard page at the low end
 
   Bump(Call::kMmap);
+  if (const int injected = fault::ShouldFail(Call::kMmap); injected != 0) {
+    errno = injected;
+    return nullptr;
+  }
   void* base = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
   if (base == MAP_FAILED) {
     return nullptr;
   }
   Bump(Call::kMprotect);
+  if (const int injected = fault::ShouldFail(Call::kMprotect); injected != 0) {
+    // Simulated guard-page failure: release the fresh mapping, exactly as the real path does.
+    Bump(Call::kMunmap);
+    ::munmap(base, total);
+    errno = injected;
+    return nullptr;
+  }
   if (::mprotect(base, page, PROT_NONE) != 0) {
     Bump(Call::kMunmap);
     ::munmap(base, total);
@@ -87,6 +137,9 @@ void* MapStack(size_t usable_size, size_t* mapped_size_out) {
 void UnmapStack(void* usable_base, size_t mapped_size) {
   const size_t page = PageSize();
   Bump(Call::kMunmap);
+  if (fault::ShouldFail(Call::kMunmap) != 0) {
+    return;  // simulated munmap failure: the mapping leaks, callers must tolerate it
+  }
   ::munmap(static_cast<char*>(usable_base) - page, mapped_size + page);
 }
 

@@ -9,6 +9,7 @@
 #ifndef FSUP_SRC_HOSTOS_UNIX_IF_HPP_
 #define FSUP_SRC_HOSTOS_UNIX_IF_HPP_
 
+#include <poll.h>
 #include <signal.h>
 #include <sys/time.h>
 
@@ -26,6 +27,7 @@ enum class Call : int {
   kMprotect,
   kSigaltstack,
   kKill,
+  kPoll,
   kCount,
 };
 
@@ -35,11 +37,18 @@ uint64_t TotalCallCount();
 void ResetCallCounts();
 
 // Counted wrappers. All return 0 on success / -1 with errno like their raw counterparts.
+// Every wrapper consults the fault injector (hostos/fault) after counting, so an armed rule
+// fails the call deterministically by invocation ordinal. The signal/timer wrappers retry the
+// raw call on EINTR (bounded) — a benign interrupt must never surface as a spurious failure.
 int Sigaction(int signo, const struct sigaction* act, struct sigaction* old);
 int Sigprocmask(int how, const sigset_t* set, sigset_t* old);
 int Setitimer(int which, const itimerval* value, itimerval* old);
 int SigaltStack(const stack_t* ss, stack_t* old);
 int Kill(pid_t pid, int signo);
+
+// Counted poll(2). Returns like the raw call; EINTR is NOT retried here because an interrupt
+// is meaningful to the idle loop (a deferred signal must be replayed) — io::PollOnce decides.
+int Poll(struct pollfd* fds, nfds_t n, int timeout_ms);
 
 // Maps a thread stack with an inaccessible guard page at the low end; returns the *usable*
 // base (just above the guard) or nullptr. usable_size is rounded up to the page size.

@@ -4,9 +4,11 @@
 #include <cerrno>
 
 #include "src/cancel/cancel.hpp"
+#include "src/hostos/unix_if.hpp"
 #include "src/kernel/kernel.hpp"
 #include "src/signals/sigmodel.hpp"
 #include "src/util/assert.hpp"
+#include "src/util/dual_loop_timer.hpp"
 
 namespace fsup::io {
 namespace {
@@ -52,17 +54,40 @@ void PollOnce(int64_t timeout_ns) {
     }
   }
 
-  int timeout_ms;
-  if (timeout_ns < 0) {
-    timeout_ms = -1;  // sleep until a signal arrives
-  } else {
-    timeout_ms = static_cast<int>((timeout_ns + 999999) / 1000000);
+  const int64_t deadline_ns = timeout_ns < 0 ? -1 : NowNs() + timeout_ns;
+  int rc;
+  for (;;) {
+    int timeout_ms;
+    if (deadline_ns < 0) {
+      timeout_ms = -1;  // sleep until a signal arrives
+    } else {
+      const int64_t remaining = deadline_ns - NowNs();
+      timeout_ms = remaining > 0 ? static_cast<int>((remaining + 999999) / 1000000) : 0;
+    }
+    // Signals are unblocked here (the idle loop ensures it); they interrupt the poll and are
+    // replayed by the dispatcher since the kernel flag is set.
+    rc = hostos::Poll(n > 0 ? fds : nullptr, n, timeout_ms);
+    if (rc >= 0) {
+      break;
+    }
+    // EINTR with nothing logged and nothing readied is benign (a stray or injected
+    // interrupt): retry with the remaining timeout, keeping every waiter registered. An
+    // EINTR that carries a deferred signal or a pending dispatch must return so the idle
+    // loop can replay it; any other error also returns — the waiters stay queued and the
+    // next idle pass retries.
+    KernelState& k = kernel::ks();
+    const bool meaningful =
+        k.sigs_caught_in_kernel.load(std::memory_order_relaxed) != 0 ||
+        k.dispatch_pending != 0;
+    if (errno != EINTR || meaningful) {
+      return;
+    }
+    if (deadline_ns >= 0 && NowNs() >= deadline_ns) {
+      return;  // interrupted at (or past) the deadline: treat as a timeout
+    }
   }
-  // Signals are unblocked here (the idle loop ensures it); they interrupt the poll and are
-  // replayed by the dispatcher since the kernel flag is set.
-  const int rc = ::poll(n > 0 ? fds : nullptr, n, timeout_ms);
-  if (rc <= 0) {
-    return;  // timeout or EINTR
+  if (rc == 0) {
+    return;  // timeout
   }
   for (nfds_t i = 0; i < n; ++i) {
     if (fds[i].revents == 0) {

@@ -7,6 +7,7 @@
 #include <sys/time.h>
 
 #include "src/arch/ras.hpp"
+#include "src/hostos/fault.hpp"
 #include "src/hostos/unix_if.hpp"
 #include "src/debug/introspect.hpp"
 #include "src/io/io.hpp"
@@ -37,6 +38,10 @@ void EnsureInit() {
     return;
   }
   k.initialized = true;
+
+  // Arm any FSUP_FAULT_SPEC rules before the first host call, so soak runs can inject from
+  // the very beginning and replays see the whole trajectory.
+  hostos::fault::InitFromEnv();
 
   ras::RegisterBuiltins();
   k.pool = new StackPool(kPrecachedStacks);

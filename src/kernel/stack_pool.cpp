@@ -67,10 +67,18 @@ bool StackPool::AttachStack(Tcb* t, size_t stack_size) {
   }
   if (stack == nullptr) {
     stack = hostos::MapStack(stack_size, &mapped);
+    if (stack != nullptr) {
+      ++stack_maps_;
+    } else if (stack_size <= kDefaultStackSize) {
+      // The map failed (address space exhausted or an injected fault). Degrade before
+      // failing: a recycled stack freed since the first probe (zombie reaping runs between
+      // the two) can still satisfy a default-size request.
+      stack = TakePooledStack(&mapped);
+    }
     if (stack == nullptr) {
+      ++alloc_failures_;
       return false;
     }
-    ++stack_maps_;
   }
   t->stack_base = stack;
   t->stack_size = mapped;

@@ -33,7 +33,9 @@ class StackPool {
   // defers the expensive resource until the thread is needed).
   Tcb* AllocateNoStack();
 
-  // Attaches a stack to a TCB created with AllocateNoStack. False on mmap failure.
+  // Attaches a stack to a TCB created with AllocateNoStack. On mmap failure (exhaustion,
+  // injected fault) falls back to retrying the freelist before giving up; false only when
+  // both sources are dry, with no pool state leaked. errno is left as the map failure set it.
   bool AttachStack(Tcb* t, size_t stack_size);
 
   // Destroys and recycles a TCB + stack obtained from Allocate().
@@ -46,6 +48,7 @@ class StackPool {
   size_t pooled_stacks() const { return free_count_; }
   uint64_t stack_reuses() const { return stack_reuses_; }
   uint64_t stack_maps() const { return stack_maps_; }
+  uint64_t alloc_failures() const { return alloc_failures_; }
 
  private:
   struct FreeStack {
@@ -61,6 +64,7 @@ class StackPool {
   size_t precache_target_;
   uint64_t stack_reuses_ = 0;
   uint64_t stack_maps_ = 0;
+  uint64_t alloc_failures_ = 0;  // AttachStack exhausted both mmap and the freelist
 };
 
 }  // namespace fsup

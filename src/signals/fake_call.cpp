@@ -93,8 +93,14 @@ void CancelTramp(void* argp) {
 
 // Detaches a blocked thread from its wait queue and pushes the fake frame.
 void InstallOnThread(Tcb* t, void (*tramp)(void*), FakeRec* rec) {
-  if (t->lazy) {
-    api::ActivateLazyInKernel(t);
+  if (t->lazy && api::ActivateLazyInKernel(t) != 0) {
+    // The deferred stack cannot be allocated, so there is no frame to doctor. Undo the
+    // record and leave the signal pending on the thread: activation re-examines pending
+    // signals, so nothing is lost — only delayed, like a masked signal.
+    t->sigmask = rec->saved_mask;
+    t->pending |= SigBit(rec->signo);
+    rec->in_use = false;
+    return;
   }
   if (t->state == ThreadState::kBlocked) {
     if (t->block_reason == BlockReason::kCond) {

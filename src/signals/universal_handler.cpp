@@ -23,6 +23,7 @@
 
 #include "src/arch/ras.hpp"
 #include "src/debug/introspect.hpp"
+#include "src/debug/trace.hpp"
 #include "src/hostos/unix_if.hpp"
 #include "src/kernel/kernel.hpp"
 #include "src/signals/fake_call.hpp"
@@ -116,13 +117,24 @@ void SyncHandler(int signo, siginfo_t* info, void* ucv) {
 
   KernelState& k = kernel::ks();
 
-  // Stack overflow detection: a fault in some thread's guard page.
+  // Stack overflow detection: a fault in some thread's guard page. Runs on the alternate
+  // signal stack (SA_ONSTACK), so it works even though the faulting thread has no usable
+  // stack left.
   if (signo == SIGSEGV && info != nullptr) {
     for (Tcb* t : k.all_threads) {
-      if (t->stack_base != nullptr && hostos::InGuardPage(info->si_addr, t->stack_base)) {
+      if (StackPool::AddrInGuard(info->si_addr, t)) {
+        debug::trace::Log(debug::trace::Event::kOverflow, t->id,
+                          static_cast<uint32_t>(t->stack_size));
         log::RawWriteCstr("fsup fatal: stack overflow in thread ");
         log::RawWriteInt(t->id);
-        log::RawWriteCstr("\n");
+        if (t->name[0] != '\0') {
+          log::RawWriteCstr(" [");
+          log::RawWriteCstr(t->name);
+          log::RawWriteCstr("]");
+        }
+        log::RawWriteCstr(" (stack size ");
+        log::RawWriteInt(static_cast<int64_t>(t->stack_size));
+        log::RawWriteCstr(")\n");
         debug::DumpThreads();
         ::abort();
       }
@@ -164,17 +176,30 @@ void SyncHandler(int signo, siginfo_t* info, void* ucv) {
 void InstallOsHandlers() {
   KernelState& k = kernel::ks();
 
+  // A runtime whose universal handler is only half-installed delivers some signals through
+  // the library and others straight to default dispositions — undefined behavior the first
+  // time a timer fires. Any failure here (including an injected one) is fatal, with the
+  // failing service named, rather than a latent landmine.
   stack_t ss{};
   ss.ss_sp = g_alt_stack;
   ss.ss_size = sizeof(g_alt_stack);
-  hostos::SigaltStack(&ss, nullptr);
+  if (hostos::SigaltStack(&ss, nullptr) != 0) {
+    FatalError("init: sigaltstack failed — no overflow reporting possible", __FILE__,
+               __LINE__);
+  }
 
   struct sigaction sa{};
   sa.sa_sigaction = &UniversalHandler;
   ::sigfillset(&sa.sa_mask);
   sa.sa_flags = SA_SIGINFO;
   for (int signo : kClaimedSignals) {
-    hostos::Sigaction(signo, &sa, g_installed ? nullptr : &g_saved_actions[signo]);
+    if (hostos::Sigaction(signo, &sa, g_installed ? nullptr : &g_saved_actions[signo]) !=
+        0) {
+      log::RawWriteCstr("fsup fatal: init: sigaction failed for signal ");
+      log::RawWriteInt(signo);
+      log::RawWriteCstr("\n");
+      FatalError("init: universal handler installation failed", __FILE__, __LINE__);
+    }
   }
 
   struct sigaction sync{};
@@ -182,7 +207,13 @@ void InstallOsHandlers() {
   ::sigfillset(&sync.sa_mask);
   sync.sa_flags = SA_SIGINFO | SA_ONSTACK | SA_NODEFER;
   for (int signo : kSyncSignals) {
-    hostos::Sigaction(signo, &sync, g_installed ? nullptr : &g_saved_actions[signo]);
+    if (hostos::Sigaction(signo, &sync,
+                          g_installed ? nullptr : &g_saved_actions[signo]) != 0) {
+      log::RawWriteCstr("fsup fatal: init: sigaction failed for fault signal ");
+      log::RawWriteInt(signo);
+      log::RawWriteCstr("\n");
+      FatalError("init: fault handler installation failed", __FILE__, __LINE__);
+    }
   }
 
   k.os_handlers_installed = true;

@@ -133,6 +133,26 @@ int MaxWaiterPrio(const Mutex* m) {
   return front != nullptr ? front->prio : kMinPrio - 1;
 }
 
+bool WouldDeadlock(const Mutex* m, const Tcb* self) {
+  FSUP_ASSERT(kernel::InKernel());
+  // The monitor freezes the whole graph, so a plain walk is race-free. The hop budget
+  // (#live threads) terminates the walk even on a cycle that does not pass through self —
+  // that cycle is someone else's EDEADLK, already returned to them when it formed.
+  uint32_t hops = kernel::ks().live_threads;
+  const Tcb* owner = m->holder();
+  while (owner != nullptr && hops-- > 0) {
+    if (owner == self) {
+      return true;
+    }
+    const Mutex* next = owner->waiting_on_mutex;
+    if (next == nullptr) {
+      return false;  // the chain ends at a runnable (or differently blocked) thread
+    }
+    owner = next->holder();
+  }
+  return false;
+}
+
 int LockInKernel(Mutex* m, Tcb* self) {
   FSUP_ASSERT(kernel::InKernel());
   if (m->holder() == self) {
@@ -142,6 +162,14 @@ int LockInKernel(Mutex* m, Tcb* self) {
     if (m->owner == self) {
       // Direct handoff from an unlocker; the lock word never dropped.
       return OnAcquired(m, self);
+    }
+    // Walk the wait-for graph before blocking: if the owner chain leads back to us, waiting
+    // would wedge every thread on the cycle forever — EDEADLK now, while the caller can
+    // still release what it holds. Re-checked on every loop iteration because a spurious
+    // wakeup re-contends against a possibly different owner.
+    if (WouldDeadlock(m, self)) {
+      debug::trace::Log(debug::trace::Event::kDeadlock, self->id, m->tag);
+      return EDEADLK;
     }
     ++m->contended_acquires;
     debug::trace::Log(debug::trace::Event::kMutexBlock, self->id, m->tag);

@@ -79,6 +79,11 @@ void RemoveWaiter(Mutex* m, Tcb* t);
 // Highest priority among m's waiters, or kMinPrio - 1 when none (inheritance recompute).
 int MaxWaiterPrio(const Mutex* m);
 
+// True if `self` blocking on `m` would close a cycle in the wait-for graph: follows the
+// owner → blocked-on-mutex → owner chain under the kernel monitor. Self-deadlock is the
+// one-hop case. In kernel; O(live threads).
+bool WouldDeadlock(const Mutex* m, const Tcb* self);
+
 }  // namespace sync
 }  // namespace fsup
 

@@ -52,6 +52,13 @@ TEST_F(DeathTest, StackOverflowHitsGuardPageAndReportsThread) {
   EXPECT_DEATH(RunOverflow(), "stack overflow in thread");
 }
 
+TEST_F(DeathTest, StackOverflowDiagnosticNamesThreadAndStackSize) {
+  // The full diagnostic: thread id, its name, and the configured stack size, so the fix
+  // ("this thread needs a bigger stack") is actionable from the message alone.
+  EXPECT_DEATH(RunOverflow(),
+               "stack overflow in thread [0-9]+ \\[overflower\\] \\(stack size [0-9]+\\)");
+}
+
 pt_thread_t g_dead_t1;
 
 void* BlockForever(void*) {
