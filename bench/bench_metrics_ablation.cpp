@@ -1,0 +1,167 @@
+// Metrics-hook ablation: proves the tentpole's "disabled metrics cost one predicted branch"
+// claim with numbers instead of prose.
+//
+//   A — the shipped code: pt_mutex_lock/pt_mutex_unlock with metrics DISABLED. The lock path
+//       now contains the metrics branch inside FastPathAllowed plus the hook branches on the
+//       kernel path.
+//   B — a hand-inlined replica of the pre-instrumentation fast path: the same validation,
+//       holder check and fast-path gate this code had before the metrics PR (no metrics
+//       branch), calling the same restartable sequences on a private mutex.
+//
+// The two are measured with the paper's dual-loop methodology in interleaved trials (ABBA…
+// alternation so drift hits both alike) and compared with Welch's criterion: the difference
+// of means against the combined standard error. For context, the enabled-metrics cost (which
+// deliberately takes the kernel path to bracket hold times) is reported too.
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+
+#include "src/arch/ras.hpp"
+#include "src/core/pthread.hpp"
+#include "src/debug/trace.hpp"
+#include "src/kernel/kernel.hpp"
+#include "src/sync/mutex.hpp"
+#include "src/util/dual_loop_timer.hpp"
+#include "src/util/stats.hpp"
+
+namespace fsup {
+namespace {
+
+constexpr int64_t kIters = 1'000'000;
+constexpr int kTrials = 12;  // interleaved pairs
+
+// Pre-PR fast-path replica. Mirrors the old MutexLock/MutexUnlock uncontended path exactly:
+// init check, validity, Current() lookup, self-deadlock, fast-path gate WITHOUT the metrics
+// branch, RAS. The call structure is mirrored too — noinline on both levels reproduces the
+// pt_mutex_lock -> sync::MutexLock cross-TU call chain, so the ONLY delta left between A and
+// B is the metrics branch itself (an inlined replica with self hoisted out of the loop would
+// measure call overhead the pre-PR code also paid, and report it as hook cost).
+uint32_t g_magic;  // captured from a live mutex so the replica's check matches the real one
+
+__attribute__((noinline)) int ReplicaLockImpl(Mutex* m) {
+  kernel::EnsureInit();
+  if (m == nullptr || m->magic != g_magic) {
+    return EINVAL;
+  }
+  Tcb* self = kernel::Current();
+  if (m->holder() == self) {
+    return EDEADLK;
+  }
+  if (m->proto == MutexProtocol::kNone &&
+      kernel::ks().perverted == PervertedPolicy::kNone && !debug::trace::Enabled()) {
+    if (fsup_ras_lock(&m->lock_word, self,
+                      reinterpret_cast<void* volatile*>(&m->owner)) == 0) {
+      return 0;
+    }
+  }
+  return EBUSY;  // never reached uncontended
+}
+
+__attribute__((noinline)) int ReplicaUnlockImpl(Mutex* m) {
+  kernel::EnsureInit();
+  if (m == nullptr || m->magic != g_magic) {
+    return EINVAL;
+  }
+  Tcb* self = kernel::Current();
+  if (m->holder() != self) {
+    return EPERM;
+  }
+  if (m->proto == MutexProtocol::kNone &&
+      kernel::ks().perverted == PervertedPolicy::kNone && !debug::trace::Enabled()) {
+    if (fsup_ras_unlock(&m->lock_word, &m->has_waiters) == 0) {
+      return 0;
+    }
+  }
+  return EBUSY;
+}
+
+__attribute__((noinline)) int ReplicaLock(Mutex* m) { return ReplicaLockImpl(m); }
+__attribute__((noinline)) int ReplicaUnlock(Mutex* m) { return ReplicaUnlockImpl(m); }
+
+double MeasureShipped(pt_mutex_t* m) {
+  DualLoopTimer t(kIters, 1);
+  return t.MeasureNs([&] {
+    pt_mutex_lock(m);
+    pt_mutex_unlock(m);
+  });
+}
+
+double MeasureReplica(Mutex* m) {
+  DualLoopTimer t(kIters, 1);
+  return t.MeasureNs([&] {
+    ReplicaLock(m);
+    ReplicaUnlock(m);
+  });
+}
+
+void Report(const char* label, const Stats& s) {
+  std::printf("  %-34s mean %7.3f ns  stddev %6.3f  min %7.3f  max %7.3f  (n=%lld)\n",
+              label, s.mean(), s.stddev(), s.min(), s.max(),
+              static_cast<long long>(s.count()));
+}
+
+}  // namespace
+}  // namespace fsup
+
+int main() {
+  using namespace fsup;
+  pt_init();
+  pt_metrics_enable(false);
+
+  pt_mutex_t shipped;
+  pt_mutex_init(&shipped);
+  Mutex replica_m;
+  pt_mutex_init(&replica_m);
+  g_magic = replica_m.magic;
+
+  // Warm both paths (page in the RAS sequences, settle the branch predictors).
+  MeasureShipped(&shipped);
+  MeasureReplica(&replica_m);
+
+  Stats a, b;
+  for (int t = 0; t < kTrials; ++t) {
+    // ABBA alternation: slow drift (thermal, scheduling) biases both sides equally.
+    if (t % 2 == 0) {
+      a.Add(MeasureShipped(&shipped));
+      b.Add(MeasureReplica(&replica_m));
+    } else {
+      b.Add(MeasureReplica(&replica_m));
+      a.Add(MeasureShipped(&shipped));
+    }
+  }
+
+  // Context: the price actually paid when metrics are ON (kernel path, hold bracketing).
+  pt_metrics_enable(true);
+  Stats enabled;
+  for (int t = 0; t < 4; ++t) {
+    enabled.Add(MeasureShipped(&shipped));
+  }
+  pt_metrics_enable(false);
+
+  std::printf("Metrics ablation — uncontended mutex lock+unlock, dual-loop, %d interleaved "
+              "trials x %lld iters\n\n",
+              kTrials, static_cast<long long>(kIters));
+  Report("A: shipped, metrics disabled", a);
+  Report("B: pre-PR fast-path replica", b);
+  Report("C: shipped, metrics ENABLED", enabled);
+
+  const double n = static_cast<double>(a.count());
+  const double diff = std::fabs(a.mean() - b.mean());
+  const double se = std::sqrt(a.variance() / n + b.variance() / n);
+  const double rel = b.mean() > 0 ? diff / b.mean() : 0.0;
+  std::printf("\n  |A-B| = %.3f ns, combined stderr = %.3f ns, relative = %.2f%%\n", diff,
+              se, rel * 100.0);
+  // Welch criterion at ~2.5 sigma, with a floor for sub-noise clock granularity.
+  const bool indistinguishable = diff <= 2.5 * se || diff < 0.25 || rel < 0.02;
+  std::printf("  verdict: disabled-hook cost is %s from the pre-PR baseline\n",
+              indistinguishable ? "statistically INDISTINGUISHABLE"
+                                : "DISTINGUISHABLE (hook overhead detected)");
+  std::printf("  enabled-metrics overhead vs disabled: %.3f ns/pair (%.1fx)\n",
+              enabled.mean() - a.mean(),
+              a.mean() > 0 ? enabled.mean() / a.mean() : 0.0);
+
+  pt_mutex_destroy(&shipped);
+  pt_mutex_destroy(&replica_m);
+  return 0;
+}

@@ -20,6 +20,7 @@
 #include <csetjmp>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "src/core/attr.hpp"
@@ -340,6 +341,34 @@ void Print(const Row& r) {
   std::printf("| %-34s | %s | %s | %-24s |\n", r.metric, a, b, r.note);
 }
 
+// Machine-readable companion to the printed table, for dashboards and regression tracking.
+// One object per row; -1 (the kNone sentinel) becomes null.
+void WriteJson(const char* path, const Row* rows, size_t n) {
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "table2_report: cannot write %s\n", path);
+    return;
+  }
+  auto cell = [&](double v) {
+    if (v < 0) {
+      std::fputs("null", f);
+    } else {
+      std::fprintf(f, "%.3f", v);
+    }
+  };
+  std::fputs("{\"unit\":\"us\",\"rows\":[\n", f);
+  for (size_t i = 0; i < n; ++i) {
+    std::fprintf(f, "  {\"metric\":\"%s\",\"fsup_us\":", rows[i].metric);
+    cell(rows[i].fsup_us);
+    std::fputs(",\"native_us\":", f);
+    cell(rows[i].native_us);
+    std::fprintf(f, ",\"note\":\"%s\"}%s\n", rows[i].note, i + 1 < n ? "," : "");
+  }
+  std::fputs("]}\n", f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
 }  // namespace
 }  // namespace fsup
 
@@ -353,23 +382,24 @@ int main() {
               "native[us]", "note");
   std::printf("|------------------------------------|------------|------------|--------------------------|\n");
 
-  Print(RowKernelEnterExit());
-  Print(RowUnixKernelEnterExit());
-  Print(RowMutexNoContention());
-  Print(RowMutexContention());
-  Print(RowSemaphore());
-  Print(RowCreate());
-  Print(RowSetjmpLongjmp());
-  Print(RowThreadSwitch());
-  Print(RowProcessSwitch());
-  Print(RowSignalInternal());
-  Print(RowSignalExternal());
-  Print(RowSignalUnix());
+  const Row rows[] = {
+      RowKernelEnterExit(), RowUnixKernelEnterExit(), RowMutexNoContention(),
+      RowMutexContention(), RowSemaphore(),           RowCreate(),
+      RowSetjmpLongjmp(),   RowThreadSwitch(),        RowProcessSwitch(),
+      RowSignalInternal(),  RowSignalExternal(),      RowSignalUnix(),
+  };
+  for (const Row& r : rows) {
+    Print(r);
+  }
 
   std::printf("\nShape checks (the paper's qualitative claims):\n");
   std::printf("  * Pthreads kernel entry << UNIX kernel entry\n");
   std::printf("  * uncontended mutex ops approach a test-and-set\n");
   std::printf("  * thread context switch < UNIX process context switch\n");
   std::printf("  * internal thread signal << external (demultiplexed) thread signal\n");
+
+  const char* json_path = std::getenv("FSUP_TABLE2_JSON");
+  WriteJson(json_path != nullptr && json_path[0] != '\0' ? json_path : "BENCH_table2.json",
+            rows, sizeof(rows) / sizeof(rows[0]));
   return 0;
 }

@@ -15,7 +15,10 @@
 #include "src/cancel/cancel.hpp"
 #include "src/cancel/cleanup.hpp"
 #include "src/core/api_internal.hpp"
+#include "src/debug/export.hpp"
 #include "src/debug/introspect.hpp"
+#include "src/debug/metrics.hpp"
+#include "src/debug/trace.hpp"
 #include "src/io/io.hpp"
 #include "src/libc/reentrant.hpp"
 #include "src/kernel/kernel.hpp"
@@ -148,6 +151,31 @@ RuntimeStats pt_stats() {
 }
 
 void pt_dump_threads() { debug::DumpThreads(); }
+
+// -- observability ------------------------------------------------------------------------
+
+void pt_metrics_enable(bool on) { debug::metrics::Enable(on); }
+
+bool pt_metrics_enabled() { return debug::metrics::Enabled(); }
+
+debug::metrics::MetricsSnapshot pt_metrics_snapshot() {
+  debug::metrics::MetricsSnapshot snap;
+  debug::metrics::Capture(&snap);
+  return snap;
+}
+
+int pt_metrics_dump(int fd) { return debug::metrics::DumpText(fd); }
+
+int pt_trace_dump(const char* path) {
+  if (path == nullptr || path[0] == '\0') {
+    return EINVAL;
+  }
+  return debug::TraceDumpJson(path);
+}
+
+void pt_trace_user(uint32_t a, uint32_t b) {
+  debug::trace::Log(debug::trace::Event::kUser, a, b);
+}
 
 // -- thread management --------------------------------------------------------------------
 

@@ -167,4 +167,9 @@ void fsup_testintr(void) { fsup::pt_testintr(); }
 
 int fsup_delay_ns(int64_t duration_ns) { return fsup::pt_delay(duration_ns); }
 
+void fsup_metrics_enable(int on) { fsup::pt_metrics_enable(on != 0); }
+int fsup_metrics_dump(int fd) { return fsup::pt_metrics_dump(fd); }
+int fsup_trace_dump(const char* path) { return fsup::pt_trace_dump(path); }
+void fsup_trace_user(uint32_t a, uint32_t b) { fsup::pt_trace_user(a, b); }
+
 }  // extern "C"

@@ -82,6 +82,15 @@ void fsup_testintr(void);
 /* Time. */
 int fsup_delay_ns(int64_t duration_ns);
 
+/* Observability. Metrics collection can also be enabled with the FSUP_METRICS environment
+ * variable; fsup_trace_dump writes the event ring as Chrome trace_event JSON (also triggered
+ * at exit by FSUP_TRACE_FILE). fsup_trace_user logs an application-defined event into the
+ * ring so program milestones line up with scheduler events in the exported timeline. */
+void fsup_metrics_enable(int on);
+int fsup_metrics_dump(int fd);
+int fsup_trace_dump(const char* path);
+void fsup_trace_user(uint32_t a, uint32_t b);
+
 #ifdef __cplusplus
 }
 #endif

@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "src/debug/metrics.hpp"
 #include "src/kernel/tcb.hpp"
 #include "src/kernel/types.hpp"
 #include "src/sync/barrier.hpp"
@@ -85,6 +86,33 @@ RuntimeStats pt_stats();
 
 // Writes a table of all threads to stderr (signal safe).
 void pt_dump_threads();
+
+// ---------------------------------------------------------------------------------------
+// Observability: per-thread metrics and trace export (DESIGN.md "Observability")
+// ---------------------------------------------------------------------------------------
+
+// Turns metrics collection on or off at runtime. Enabling resets all counters and starts
+// time-in-state accounting from "now". No-op (stays off) when built with FSUP_METRICS=OFF.
+// Also enabled at init by setting the FSUP_METRICS environment variable to a non-"0" value.
+void pt_metrics_enable(bool on);
+bool pt_metrics_enabled();
+
+// Consistent snapshot of all counters, latency histograms and per-thread accounting. Always
+// callable; with metrics disabled the kernel totals are still live, the gated counters and
+// histograms are zero/empty (empty histograms report percentile 0).
+debug::metrics::MetricsSnapshot pt_metrics_snapshot();
+
+// Writes a human-readable metrics report to fd. Returns 0 or an errno value.
+int pt_metrics_dump(int fd);
+
+// Writes the trace ring to `path` as Chrome trace_event JSON (loadable in Perfetto or
+// chrome://tracing). Returns 0 or an errno value. Also triggered at process exit by setting
+// the FSUP_TRACE_FILE environment variable.
+int pt_trace_dump(const char* path);
+
+// Logs a caller-defined event into the trace ring (trace::Event::kUser) — lets application
+// milestones line up with scheduler events in an exported timeline.
+void pt_trace_user(uint32_t a, uint32_t b);
 
 // ---------------------------------------------------------------------------------------
 // Thread management

@@ -1,0 +1,26 @@
+// Trace and metrics exporters (user context only — these allocate and use stdio, unlike the
+// in-kernel collectors they read from).
+//
+// TraceDumpJson writes the trace ring as Chrome trace_event JSON ("JSON Object Format":
+// {"traceEvents":[...]}), loadable in Perfetto and chrome://tracing. Context switches become
+// "B"/"E" duration slices on each thread's track (the running intervals); every other ring
+// event becomes an "i" instant with its two arguments. Timestamps are microseconds from the
+// first record; thread names come from the live TCBs at dump time.
+
+#ifndef FSUP_SRC_DEBUG_EXPORT_HPP_
+#define FSUP_SRC_DEBUG_EXPORT_HPP_
+
+namespace fsup::debug {
+
+// Writes the current trace ring to `path` as Chrome trace_event JSON. Returns 0 on success
+// or an errno value (file open/write failure). An empty ring still produces a valid file.
+int TraceDumpJson(const char* path);
+
+// Registers an atexit handler that dumps the trace ring to `path` when the process exits
+// (the FSUP_TRACE_FILE hookup; the final pt_exit leaves via std::exit, so this fires for
+// thread-terminated processes too). The path is copied; repeated calls replace it.
+void SetTraceFileAtExit(const char* path);
+
+}  // namespace fsup::debug
+
+#endif  // FSUP_SRC_DEBUG_EXPORT_HPP_

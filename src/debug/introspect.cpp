@@ -1,5 +1,6 @@
 #include "src/debug/introspect.hpp"
 
+#include "src/debug/metrics.hpp"
 #include "src/kernel/kernel.hpp"
 #include "src/util/log.hpp"
 
@@ -32,6 +33,25 @@ void DumpThreads() {
     }
     log::RawWriteCstr(" switches=");
     log::RawWriteInt(static_cast<int64_t>(t->switches_in));
+    log::RawWriteCstr(" sig=");
+    log::RawWriteInt(static_cast<int64_t>(t->signals_taken));
+    if (metrics::Enabled()) {
+      const TcbMetrics& m = t->metrics;
+      log::RawWriteCstr(" vol=");
+      log::RawWriteInt(static_cast<int64_t>(m.voluntary));
+      log::RawWriteCstr(" pre=");
+      log::RawWriteInt(static_cast<int64_t>(m.preempted));
+      log::RawWriteCstr(" mblk=");
+      log::RawWriteInt(static_cast<int64_t>(m.mutex_blocks));
+      log::RawWriteCstr(" fake=");
+      log::RawWriteInt(static_cast<int64_t>(m.fake_calls));
+      log::RawWriteCstr(" run_us=");
+      log::RawWriteInt(m.running_ns / 1000);
+      log::RawWriteCstr(" ready_us=");
+      log::RawWriteInt(m.ready_ns / 1000);
+      log::RawWriteCstr(" blk_us=");
+      log::RawWriteInt(m.blocked_ns / 1000);
+    }
     log::RawWriteCstr("\n");
   }
   log::RawWriteCstr("  ctx_switches=");

@@ -1,0 +1,276 @@
+#include "src/debug/metrics.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "src/arch/ras.hpp"
+#include "src/kernel/kernel.hpp"
+#include "src/util/dual_loop_timer.hpp"
+
+namespace fsup::debug::metrics {
+namespace {
+
+// Metrics-gated global accumulators. All mutation happens inside the kernel monitor or from
+// the universal handler while it holds the kernel flag, so plain fields suffice — the same
+// discipline as every other kernel statistic.
+struct Globals {
+  int64_t enabled_since_ns = 0;
+  uint64_t voluntary_switches = 0;
+  uint64_t preempted_switches = 0;
+  uint64_t signals_delivered = 0;
+  uint64_t fake_calls = 0;
+  uint64_t timer_ticks = 0;
+  uint64_t idle_polls = 0;
+  bool next_switch_preempted = false;
+  LatencyHist sched_latency;
+  LatencyHist mutex_wait;
+  LatencyHist mutex_hold;
+};
+
+Globals g_state;
+
+#ifndef FSUP_NO_METRICS
+
+// Folds the time since t's last state stamp into the bucket for the state it was in, and
+// restamps. Returns the folded duration (used for the scheduling-latency histogram).
+int64_t FoldStateTime(Tcb* t, int64_t now) {
+  TcbMetrics& m = t->metrics;
+  int64_t d = 0;
+  if (m.state_since_ns != 0) {
+    d = now - m.state_since_ns;
+    switch (static_cast<ThreadState>(m.acct_state)) {
+      case ThreadState::kRunning:
+        m.running_ns += d;
+        break;
+      case ThreadState::kReady:
+        m.ready_ns += d;
+        break;
+      case ThreadState::kBlocked:
+        m.blocked_ns += d;
+        break;
+      case ThreadState::kTerminated:
+        break;
+    }
+  }
+  m.state_since_ns = now;
+  return d;
+}
+
+#endif  // FSUP_NO_METRICS
+
+void FillThreadSnap(const Tcb* t, ThreadSnap* out) {
+  out->id = t->id;
+  std::memcpy(out->name, t->name, sizeof(out->name));
+  out->state = static_cast<uint8_t>(t->state);
+  out->switches_in = t->switches_in;
+  out->signals_taken = t->signals_taken;
+  out->voluntary = t->metrics.voluntary;
+  out->preempted = t->metrics.preempted;
+  out->fake_calls = t->metrics.fake_calls;
+  out->mutex_blocks = t->metrics.mutex_blocks;
+  out->running_ns = t->metrics.running_ns;
+  out->ready_ns = t->metrics.ready_ns;
+  out->blocked_ns = t->metrics.blocked_ns;
+  out->mutex_wait_ns = t->metrics.mutex_wait_ns;
+}
+
+}  // namespace
+
+#ifndef FSUP_NO_METRICS
+
+bool g_enabled = false;
+
+void Enable(bool on) {
+  kernel::EnsureInit();
+  kernel::Enter();
+  KernelState& k = kernel::ks();
+  if (on && !g_enabled) {
+    g_state = Globals{};
+    g_state.enabled_since_ns = NowNs();
+    for (Tcb* t : k.all_threads) {
+      t->metrics = TcbMetrics{};
+      t->metrics.acct_state = static_cast<uint8_t>(t->state);
+      t->metrics.state_since_ns = g_state.enabled_since_ns;
+    }
+  }
+  g_enabled = on;
+  kernel::Exit();
+}
+
+int64_t EnabledSinceNs() { return g_state.enabled_since_ns; }
+
+void OnStateChangeSlow(Tcb* t, ThreadState new_state) {
+  FoldStateTime(t, NowNs());
+  t->metrics.acct_state = static_cast<uint8_t>(new_state);
+}
+
+void OnSwitchSlow(Tcb* from, Tcb* to) {
+  if (g_state.next_switch_preempted) {
+    g_state.next_switch_preempted = false;
+    ++g_state.preempted_switches;
+    ++from->metrics.preempted;
+  } else {
+    ++g_state.voluntary_switches;
+    ++from->metrics.voluntary;
+  }
+  // `to` goes ready -> running: the time it just spent in ready is its scheduling latency.
+  const int64_t ready_time = FoldStateTime(to, NowNs());
+  if (to->metrics.acct_state == static_cast<uint8_t>(ThreadState::kReady)) {
+    g_state.sched_latency.Add(ready_time);
+  }
+  to->metrics.acct_state = static_cast<uint8_t>(ThreadState::kRunning);
+}
+
+void MarkPreemptionSlow() { g_state.next_switch_preempted = true; }
+
+void OnMutexWaitSlow(Tcb* t, int64_t wait_ns) {
+  ++t->metrics.mutex_blocks;
+  t->metrics.mutex_wait_ns += wait_ns;
+  g_state.mutex_wait.Add(wait_ns);
+}
+
+void OnMutexHoldSlow(int64_t hold_ns) { g_state.mutex_hold.Add(hold_ns); }
+
+void OnSignalDeliveredSlow(Tcb*) { ++g_state.signals_delivered; }
+
+void OnFakeCallSlow(Tcb* t) {
+  ++t->metrics.fake_calls;
+  ++g_state.fake_calls;
+}
+
+void OnTimerTickSlow() { ++g_state.timer_ticks; }
+
+void OnIdlePollSlow() { ++g_state.idle_polls; }
+
+#endif  // FSUP_NO_METRICS
+
+void Capture(MetricsSnapshot* out) {
+  *out = MetricsSnapshot{};
+  kernel::EnsureInit();
+  const bool enter = !kernel::InKernel();
+  if (enter) {
+    kernel::Enter();
+  }
+  KernelState& k = kernel::ks();
+
+  out->enabled = Enabled();
+  out->ctx_switches = k.ctx_switches;
+  out->dispatches = k.dispatches;
+  out->preemptions = k.preemptions;
+  out->deferred_signals = k.deferred_signals;
+  out->kernel_entries = k.kernel_entries;
+  out->ras_restarts = ras::RestartCount();
+
+  out->enabled_since_ns = g_state.enabled_since_ns;
+  out->voluntary_switches = g_state.voluntary_switches;
+  out->preempted_switches = g_state.preempted_switches;
+  out->signals_delivered = g_state.signals_delivered;
+  out->fake_calls = g_state.fake_calls;
+  out->timer_ticks = g_state.timer_ticks;
+  out->idle_polls = g_state.idle_polls;
+  out->sched_latency = g_state.sched_latency;
+  out->mutex_wait = g_state.mutex_wait;
+  out->mutex_hold = g_state.mutex_hold;
+
+#ifndef FSUP_NO_METRICS
+  if (Enabled()) {
+    // Bring every thread's time-in-state current so a snapshot taken mid-run does not hide
+    // the open interval of the running thread.
+    const int64_t now = NowNs();
+    for (Tcb* t : k.all_threads) {
+      FoldStateTime(t, now);
+    }
+  }
+#endif
+
+  uint32_t n = 0;
+  for (Tcb* t : k.all_threads) {
+    if (n >= kMaxSnapshotThreads) {
+      break;
+    }
+    FillThreadSnap(t, &out->threads[n]);
+    ++n;
+  }
+  out->thread_count = n;
+
+  if (enter) {
+    kernel::Exit();
+  }
+}
+
+int DumpText(int fd) {
+  MetricsSnapshot s;
+  Capture(&s);
+
+  char buf[8192];
+  int off = 0;
+  auto emit = [&](const char* fmt, auto... args) {
+    if (off < static_cast<int>(sizeof(buf))) {
+      const int n = std::snprintf(buf + off, sizeof(buf) - static_cast<size_t>(off), fmt,
+                                  args...);
+      if (n > 0) {
+        off += n;
+      }
+    }
+  };
+
+  emit("fsup metrics (%s)\n", s.enabled ? "enabled" : "disabled");
+  emit("  ctx_switches=%llu (voluntary=%llu preempted=%llu) dispatches=%llu "
+       "preemptions=%llu\n",
+       static_cast<unsigned long long>(s.ctx_switches),
+       static_cast<unsigned long long>(s.voluntary_switches),
+       static_cast<unsigned long long>(s.preempted_switches),
+       static_cast<unsigned long long>(s.dispatches),
+       static_cast<unsigned long long>(s.preemptions));
+  emit("  kernel_entries=%llu deferred_signals=%llu signals=%llu fake_calls=%llu "
+       "ras_restarts=%llu timer_ticks=%llu idle_polls=%llu\n",
+       static_cast<unsigned long long>(s.kernel_entries),
+       static_cast<unsigned long long>(s.deferred_signals),
+       static_cast<unsigned long long>(s.signals_delivered),
+       static_cast<unsigned long long>(s.fake_calls),
+       static_cast<unsigned long long>(s.ras_restarts),
+       static_cast<unsigned long long>(s.timer_ticks),
+       static_cast<unsigned long long>(s.idle_polls));
+
+  auto hist = [&](const char* label, const LatencyHist& h) {
+    emit("  %-13s n=%-8llu mean=%-10.0f p50=%-8lld p95=%-8lld p99=%-8lld max=%lld (ns)\n",
+         label, static_cast<unsigned long long>(h.count), h.MeanNs(),
+         static_cast<long long>(h.PercentileNs(50)),
+         static_cast<long long>(h.PercentileNs(95)),
+         static_cast<long long>(h.PercentileNs(99)), static_cast<long long>(h.max_ns));
+  };
+  hist("sched_latency", s.sched_latency);
+  hist("mutex_wait", s.mutex_wait);
+  hist("mutex_hold", s.mutex_hold);
+
+  emit("  %-4s %-15s %-10s %-9s %-9s %-9s %-10s %-10s %-10s\n", "id", "name", "switches",
+       "voluntary", "preempted", "mblocks", "run_us", "ready_us", "blocked_us");
+  for (uint32_t i = 0; i < s.thread_count; ++i) {
+    const ThreadSnap& t = s.threads[i];
+    emit("  %-4u %-15s %-10llu %-9llu %-9llu %-9llu %-10lld %-10lld %-10lld\n", t.id,
+         t.name[0] != '\0' ? t.name : "-", static_cast<unsigned long long>(t.switches_in),
+         static_cast<unsigned long long>(t.voluntary),
+         static_cast<unsigned long long>(t.preempted),
+         static_cast<unsigned long long>(t.mutex_blocks),
+         static_cast<long long>(t.running_ns / 1000),
+         static_cast<long long>(t.ready_ns / 1000),
+         static_cast<long long>(t.blocked_ns / 1000));
+  }
+
+  const char* p = buf;
+  int remaining = off;
+  while (remaining > 0) {
+    const ssize_t w = ::write(fd, p, static_cast<size_t>(remaining));
+    if (w <= 0) {
+      return errno != 0 ? errno : EIO;
+    }
+    p += w;
+    remaining -= static_cast<int>(w);
+  }
+  return 0;
+}
+
+}  // namespace fsup::debug::metrics

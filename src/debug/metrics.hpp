@@ -1,0 +1,247 @@
+// Per-thread and kernel-wide runtime metrics (paper, Future Work: "Information could be
+// extracted from the thread control block and made available to the user").
+//
+// The dispatcher, the sync paths and the signal machinery call the inline hooks below at
+// every interesting transition. With metrics disabled (the default) each hook is one load
+// and one predicted branch; configuring with -DFSUP_METRICS=OFF defines FSUP_NO_METRICS and
+// compiles the hooks out entirely, restoring the pre-instrumentation code byte for byte.
+// The bench_metrics_ablation binary quantifies the disabled-hook cost against a replica of
+// the uninstrumented fast path.
+//
+// Everything here is kernel-safe: fixed storage, no allocation, no syscalls. Aggregation
+// into histograms uses log2 buckets so Add() is a bit-scan plus an increment.
+//
+// Layering note: the per-thread accumulators live in the TCB (TcbMetrics, kernel/tcb.hpp);
+// this module owns the global counters, the histograms and the snapshot/dump API. Mutex
+// wait/hold instrumentation covers semaphores, rwlocks and barriers too — they are layered
+// on mutex + cond.
+
+#ifndef FSUP_SRC_DEBUG_METRICS_HPP_
+#define FSUP_SRC_DEBUG_METRICS_HPP_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/kernel/types.hpp"
+
+namespace fsup {
+struct Tcb;
+}
+
+namespace fsup::debug::metrics {
+
+// ---------------------------------------------------------------------------------------
+// Types — unconditionally defined so the snapshot API keeps one ABI across FSUP_METRICS
+// configurations (only the hooks compile out).
+// ---------------------------------------------------------------------------------------
+
+inline constexpr int kHistBuckets = 40;  // log2(ns): bucket i holds [2^(i-1), 2^i) ns
+inline constexpr int kMaxSnapshotThreads = 64;
+
+// Fixed-bucket log2 latency histogram. Header-inline so the FSUP_NO_METRICS configuration
+// stays self-contained (no library symbols needed to consume a snapshot).
+struct LatencyHist {
+  uint64_t buckets[kHistBuckets] = {};
+  uint64_t count = 0;
+  int64_t sum_ns = 0;
+  int64_t max_ns = 0;
+
+  void Add(int64_t ns) {
+    if (ns < 0) {
+      ns = 0;
+    }
+    int idx = 0;
+    for (uint64_t v = static_cast<uint64_t>(ns); v != 0; v >>= 1) {
+      ++idx;  // idx = bit width of ns
+    }
+    if (idx >= kHistBuckets) {
+      idx = kHistBuckets - 1;
+    }
+    ++buckets[idx];
+    ++count;
+    sum_ns += ns;
+    if (ns > max_ns) {
+      max_ns = ns;
+    }
+  }
+
+  // Upper bound of the bucket containing the p-th percentile sample (p in [0,100]);
+  // 0 when the histogram is empty. The top bucket reports the observed maximum.
+  int64_t PercentileNs(double p) const {
+    if (count == 0) {
+      return 0;
+    }
+    // Nearest-rank: the target sample index is ceil(p% of count), never below 1.
+    const double rank = (p / 100.0) * static_cast<double>(count);
+    uint64_t target = static_cast<uint64_t>(rank);
+    if (static_cast<double>(target) < rank) {
+      ++target;
+    }
+    if (target == 0) {
+      target = 1;
+    }
+    if (target > count) {
+      target = count;
+    }
+    uint64_t seen = 0;
+    for (int i = 0; i < kHistBuckets; ++i) {
+      seen += buckets[i];
+      if (seen >= target) {
+        if (i == kHistBuckets - 1) {
+          return max_ns;
+        }
+        return i == 0 ? 0 : (int64_t{1} << i) - 1;
+      }
+    }
+    return max_ns;
+  }
+
+  double MeanNs() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum_ns) / static_cast<double>(count);
+  }
+};
+
+// Per-thread slice of a snapshot (copied out of the TCB under the kernel monitor).
+struct ThreadSnap {
+  uint32_t id = 0;
+  char name[16] = {};
+  uint8_t state = 0;  // ThreadState
+  uint64_t switches_in = 0;
+  uint64_t voluntary = 0;      // descheduled by blocking/yielding
+  uint64_t preempted = 0;      // descheduled by a higher-priority thread or the slice
+  uint64_t signals_taken = 0;  // user handlers run on this thread
+  uint64_t fake_calls = 0;     // fake-call frames pushed onto / drained by this thread
+  uint64_t mutex_blocks = 0;   // times it suspended on a mutex
+  int64_t running_ns = 0;
+  int64_t ready_ns = 0;
+  int64_t blocked_ns = 0;
+  int64_t mutex_wait_ns = 0;
+};
+
+// One consistent copy of everything, taken under the kernel monitor.
+struct MetricsSnapshot {
+  bool enabled = false;
+  int64_t enabled_since_ns = 0;
+
+  // Kernel totals (live regardless of the metrics flag — they predate this module).
+  uint64_t ctx_switches = 0;
+  uint64_t dispatches = 0;
+  uint64_t preemptions = 0;
+  uint64_t deferred_signals = 0;
+  uint64_t kernel_entries = 0;
+
+  // Metrics-gated totals.
+  uint64_t voluntary_switches = 0;
+  uint64_t preempted_switches = 0;
+  uint64_t signals_delivered = 0;  // user handlers dispatched (fake calls + sync + self)
+  uint64_t fake_calls = 0;
+  uint64_t ras_restarts = 0;  // total since process start (arch/ras.cpp counter)
+  uint64_t timer_ticks = 0;
+  uint64_t idle_polls = 0;
+
+  LatencyHist sched_latency;  // ready -> running
+  LatencyHist mutex_wait;     // first contended block -> acquisition
+  LatencyHist mutex_hold;     // kernel-path acquisition -> unlock
+
+  uint32_t thread_count = 0;  // entries filled below (live threads, capped)
+  ThreadSnap threads[kMaxSnapshotThreads];
+};
+
+// Captures a snapshot (enters the kernel unless already inside). Always available; with
+// metrics disabled (or compiled out) the gated fields are zero. Flushes the in-progress
+// time-in-state of every thread so the totals are current to the call.
+void Capture(MetricsSnapshot* out);
+
+// Human-readable report (counters, percentiles, per-thread table) written to fd via plain
+// write(2). User context only (formats into a stack buffer; no allocation).
+int DumpText(int fd);
+
+#ifndef FSUP_NO_METRICS
+
+// One flag read on every hook: the disabled cost is this load + branch.
+extern bool g_enabled;
+inline bool Enabled() { return g_enabled; }
+
+// Enables/disables collection. Enabling resets the accumulators and stamps every live
+// thread's state clock; also forces mutexes off the RAS fast path (see FastPathAllowed) so
+// every acquisition is observed. Enters the kernel.
+void Enable(bool on);
+
+// -- slow paths (called only when enabled; defined in metrics.cpp) ----------------------
+void OnStateChangeSlow(Tcb* t, ThreadState new_state);
+void OnSwitchSlow(Tcb* from, Tcb* to);
+void MarkPreemptionSlow();
+void OnMutexWaitSlow(Tcb* t, int64_t wait_ns);
+void OnMutexHoldSlow(int64_t hold_ns);
+void OnSignalDeliveredSlow(Tcb* t);
+void OnFakeCallSlow(Tcb* t);
+void OnTimerTickSlow();
+void OnIdlePollSlow();
+int64_t EnabledSinceNs();
+
+// -- hooks (one predicted branch when disabled) -----------------------------------------
+inline void OnStateChange(Tcb* t, ThreadState new_state) {
+  if (g_enabled) {
+    OnStateChangeSlow(t, new_state);
+  }
+}
+inline void OnSwitch(Tcb* from, Tcb* to) {
+  if (g_enabled) {
+    OnSwitchSlow(from, to);
+  }
+}
+inline void MarkPreemption() {
+  if (g_enabled) {
+    MarkPreemptionSlow();
+  }
+}
+inline void OnMutexWait(Tcb* t, int64_t wait_ns) {
+  if (g_enabled) {
+    OnMutexWaitSlow(t, wait_ns);
+  }
+}
+inline void OnMutexHold(int64_t hold_ns) {
+  if (g_enabled) {
+    OnMutexHoldSlow(hold_ns);
+  }
+}
+inline void OnSignalDelivered(Tcb* t) {
+  if (g_enabled) {
+    OnSignalDeliveredSlow(t);
+  }
+}
+inline void OnFakeCall(Tcb* t) {
+  if (g_enabled) {
+    OnFakeCallSlow(t);
+  }
+}
+inline void OnTimerTick() {
+  if (g_enabled) {
+    OnTimerTickSlow();
+  }
+}
+inline void OnIdlePoll() {
+  if (g_enabled) {
+    OnIdlePollSlow();
+  }
+}
+
+#else  // FSUP_NO_METRICS: the zero-overhead configuration — hooks vanish at compile time.
+
+constexpr bool Enabled() { return false; }
+inline void Enable(bool) {}
+inline void OnStateChange(Tcb*, ThreadState) {}
+inline void OnSwitch(Tcb*, Tcb*) {}
+inline void MarkPreemption() {}
+inline void OnMutexWait(Tcb*, int64_t) {}
+inline void OnMutexHold(int64_t) {}
+inline void OnSignalDelivered(Tcb*) {}
+inline void OnFakeCall(Tcb*) {}
+inline void OnTimerTick() {}
+inline void OnIdlePoll() {}
+
+#endif  // FSUP_NO_METRICS
+
+}  // namespace fsup::debug::metrics
+
+#endif  // FSUP_SRC_DEBUG_METRICS_HPP_

@@ -1,5 +1,8 @@
 #include "src/debug/trace.hpp"
 
+#include <atomic>
+
+#include "src/kernel/kernel.hpp"
 #include "src/util/dual_loop_timer.hpp"
 
 namespace fsup::debug::trace {
@@ -8,9 +11,21 @@ namespace {
 constexpr size_t kCapacity = 1 << 16;
 
 Record g_ring[kCapacity];
-size_t g_next = 0;
-size_t g_count = 0;
 bool g_enabled = false;
+
+// Reserve/commit pair: Log bumps g_reserved, fills the slot, then bumps g_committed. When the
+// two are equal no writer is mid-flight. Both only ever grow; slot = sequence % capacity.
+std::atomic<uint64_t> g_reserved{0};
+std::atomic<uint64_t> g_committed{0};
+
+// One consistent copy of the ring window [first, end). Returns records oldest-first.
+size_t CopyWindow(Record* out, uint64_t end, size_t n) {
+  const uint64_t first = end - n;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = g_ring[(first + i) % kCapacity];
+  }
+  return n;
+}
 
 }  // namespace
 
@@ -19,26 +34,71 @@ void Enable(bool on) { g_enabled = on; }
 bool Enabled() { return g_enabled; }
 
 void Clear() {
-  g_next = 0;
-  g_count = 0;
+  g_reserved.store(0, std::memory_order_relaxed);
+  g_committed.store(0, std::memory_order_relaxed);
 }
+
+size_t Capacity() { return kCapacity; }
 
 void Log(Event e, uint32_t a, uint32_t b) {
   if (!g_enabled) {
     return;
   }
-  g_ring[g_next] = Record{NowNs(), e, a, b};
-  g_next = (g_next + 1) % kCapacity;
-  if (g_count < kCapacity) {
-    ++g_count;
-  }
+  KernelState& k = kernel::ks();
+  const uint32_t tid = k.current != nullptr ? k.current->id : 0;
+  // A signal handler interrupting us between the reservation and the commit logs into later
+  // slots; our slot commits when we resume. Readers see reserved != committed meanwhile.
+  const uint64_t seq = g_reserved.fetch_add(1, std::memory_order_relaxed);
+  g_ring[seq % kCapacity] = Record{NowNs(), tid, a, b, e};
+  g_committed.fetch_add(1, std::memory_order_release);
 }
 
-size_t Count() { return g_count; }
+size_t Count() {
+  const uint64_t w = g_committed.load(std::memory_order_acquire);
+  return w < kCapacity ? static_cast<size_t>(w) : kCapacity;
+}
 
 Record Get(size_t i) {
-  const size_t oldest = g_count < kCapacity ? 0 : g_next;
+  const uint64_t w = g_committed.load(std::memory_order_acquire);
+  const uint64_t oldest = w <= kCapacity ? 0 : w % kCapacity;
   return g_ring[(oldest + i) % kCapacity];
+}
+
+uint64_t TotalLogged() { return g_committed.load(std::memory_order_acquire); }
+
+size_t Snapshot(Record* out, size_t max) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const uint64_t w0 = g_committed.load(std::memory_order_acquire);
+    if (g_reserved.load(std::memory_order_relaxed) != w0) {
+      continue;  // a Log call is mid-flight below us on the stack or was interrupted
+    }
+    const size_t avail = w0 < kCapacity ? static_cast<size_t>(w0) : kCapacity;
+    const size_t n = avail < max ? avail : max;
+    CopyWindow(out, w0, n);
+    const uint64_t w1 = g_committed.load(std::memory_order_acquire);
+    // Writers that ran during the copy filled slots [w0, w1). Our copy is still consistent
+    // unless those wrapped into the window we read, i.e. unless w1 advanced past the oldest
+    // copied slot's lap: w1 - (w0 - n) > capacity.
+    if (w1 - (w0 - n) <= kCapacity) {
+      return n;
+    }
+  }
+  // Fallback: copy inside the kernel. The only concurrent writers are signal handlers, and
+  // the universal handler defers itself while the kernel flag is set, so the ring is frozen
+  // for the duration of the copy.
+  const bool enter = !kernel::InKernel();
+  if (enter) {
+    kernel::EnsureInit();
+    kernel::Enter();
+  }
+  const uint64_t w = g_committed.load(std::memory_order_acquire);
+  const size_t avail = w < kCapacity ? static_cast<size_t>(w) : kCapacity;
+  const size_t n = avail < max ? avail : max;
+  CopyWindow(out, w, n);
+  if (enter) {
+    kernel::Exit();
+  }
+  return n;
 }
 
 const char* Name(Event e) {
@@ -65,6 +125,16 @@ const char* Name(Event e) {
       return "overflow";
     case Event::kDeadlock:
       return "deadlock";
+    case Event::kCondWait:
+      return "cond-wait";
+    case Event::kCondSignal:
+      return "cond-signal";
+    case Event::kCancel:
+      return "cancel";
+    case Event::kFakeCall:
+      return "fake-call";
+    case Event::kTimerTick:
+      return "timer-tick";
   }
   return "?";
 }

@@ -4,6 +4,7 @@
 #include <cerrno>
 
 #include "src/cancel/cancel.hpp"
+#include "src/debug/metrics.hpp"
 #include "src/hostos/unix_if.hpp"
 #include "src/kernel/kernel.hpp"
 #include "src/signals/sigmodel.hpp"
@@ -40,6 +41,7 @@ bool HaveWaiters() { return g_active > 0; }
 
 void PollOnce(int64_t timeout_ns) {
   FSUP_ASSERT(kernel::InKernel());
+  debug::metrics::OnIdlePoll();
 
   pollfd fds[kMaxWaiters];
   Waiter* slots[kMaxWaiters];

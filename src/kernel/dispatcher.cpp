@@ -7,6 +7,7 @@
 
 #include <cerrno>
 
+#include "src/debug/metrics.hpp"
 #include "src/debug/trace.hpp"
 #include "src/io/io.hpp"
 #include "src/kernel/kernel.hpp"
@@ -36,6 +37,7 @@ void SwitchTo(Tcb* next) {
   ++k.ctx_switches;
   k.current = next;
   debug::trace::OnSwitch(cur->id, next->id);
+  debug::metrics::OnSwitch(cur, next);
 
   sig::OnDispatch(next);
 
@@ -107,6 +109,8 @@ void DispatchKeepKernel() {
         cur->state = ThreadState::kReady;
         k.ready.PushFront(cur);  // preempted: head of its level, it did not consume its turn
         ++k.preemptions;
+        debug::metrics::OnStateChange(cur, ThreadState::kReady);
+        debug::metrics::MarkPreemption();
         next = k.ready.PopHighest();
       } else {
         return;  // keep running
@@ -125,6 +129,7 @@ void DispatchKeepKernel() {
         // The current thread yielded / was requeued and won selection again.
         cur->state = ThreadState::kRunning;
         cur->block_reason = BlockReason::kNone;
+        debug::metrics::OnStateChange(cur, ThreadState::kRunning);
         sig::OnDispatch(cur);
         return;
       }

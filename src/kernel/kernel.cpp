@@ -9,7 +9,10 @@
 #include "src/arch/ras.hpp"
 #include "src/hostos/fault.hpp"
 #include "src/hostos/unix_if.hpp"
+#include "src/debug/export.hpp"
 #include "src/debug/introspect.hpp"
+#include "src/debug/metrics.hpp"
+#include "src/debug/trace.hpp"
 #include "src/io/io.hpp"
 #include "src/sched/perverted.hpp"
 #include "src/signals/sigmodel.hpp"
@@ -66,6 +69,18 @@ void EnsureInit() {
   // Make the signal state canonical: nothing blocked. (After a reinit the mask was fully
   // blocked across the handler swap; on first init this is the process default anyway.)
   sig::UnblockAllOsSignals();
+
+  // Observability env hooks. FSUP_TRACE_FILE=<path> turns tracing on and dumps a Chrome
+  // trace_event JSON at process exit (the final pt_exit leaves via std::exit, so atexit
+  // handlers run). FSUP_METRICS=1 turns metric collection on from the start.
+  if (const char* path = std::getenv("FSUP_TRACE_FILE"); path != nullptr && path[0] != '\0') {
+    debug::trace::Enable(true);
+    debug::SetTraceFileAtExit(path);
+  }
+  if (const char* v = std::getenv("FSUP_METRICS");
+      v != nullptr && v[0] != '\0' && v[0] != '0') {
+    debug::metrics::Enable(true);
+  }
   log::Write("runtime initialized");
 }
 
@@ -110,6 +125,7 @@ void MakeReady(Tcb* t, bool front) {
   // stack inside the dispatcher, and its own timer/IO wakeup re-readies it.
   t->state = ThreadState::kReady;
   t->block_reason = BlockReason::kNone;
+  debug::metrics::OnStateChange(t, ThreadState::kReady);
   if (front) {
     k.ready.PushFront(t);
   } else {
@@ -128,6 +144,7 @@ void Suspend(BlockReason reason) {
   FSUP_ASSERT(self->state == ThreadState::kRunning);
   self->state = ThreadState::kBlocked;
   self->block_reason = reason;
+  debug::metrics::OnStateChange(self, ThreadState::kBlocked);
   DispatchKeepKernel();
   // Resumed: made ready by a waker and selected by the dispatcher. Still in the kernel.
   FSUP_ASSERT(k.current == self);
@@ -139,6 +156,7 @@ void Yield() {
   FSUP_ASSERT(k.in_kernel != 0);
   Tcb* self = k.current;
   self->state = ThreadState::kReady;
+  debug::metrics::OnStateChange(self, ThreadState::kReady);
   k.ready.PushBack(self);
   DispatchKeepKernel();
 }
@@ -179,6 +197,7 @@ void TerminateCurrent() {
   FSUP_ASSERT(k.in_kernel != 0);
   Tcb* self = k.current;
   FSUP_ASSERT(self->state == ThreadState::kTerminated);
+  debug::metrics::OnStateChange(self, ThreadState::kTerminated);
   FSUP_CHECK(k.live_threads > 0);
   --k.live_threads;
   if (k.live_threads == 0) {

@@ -56,6 +56,22 @@ struct CleanupNode {
   CleanupNode* next = nullptr;
 };
 
+// Per-thread metrics accumulators (debug/metrics.hpp). Always present so the TCB layout is
+// identical across FSUP_METRICS configurations; with metrics disabled or compiled out the
+// fields simply stay zero. All mutation happens under the kernel monitor.
+struct TcbMetrics {
+  uint64_t voluntary = 0;      // context switches away while blocking/yielding
+  uint64_t preempted = 0;      // context switches away forced by preemption / the slice
+  uint64_t fake_calls = 0;     // fake-call frames pushed for this thread
+  uint64_t mutex_blocks = 0;   // suspensions on a mutex
+  int64_t mutex_wait_ns = 0;   // total contended-acquisition wait
+  int64_t running_ns = 0;      // time-in-state accumulators...
+  int64_t ready_ns = 0;
+  int64_t blocked_ns = 0;
+  int64_t state_since_ns = 0;  // ...clocked from this stamp (0 = not yet stamped)
+  uint8_t acct_state = 0;      // ThreadState the open interval belongs to
+};
+
 struct Tcb {
   // -- queue membership ------------------------------------------------------------------
   ListNode link;      // ready queue or (exclusive) the wait queue of whatever blocks us
@@ -154,6 +170,7 @@ struct Tcb {
   // -- statistics ------------------------------------------------------------------------
   uint64_t switches_in = 0;        // times this thread was dispatched
   uint64_t signals_taken = 0;      // user handlers run on this thread
+  TcbMetrics metrics;              // gated accumulators (debug/metrics.hpp)
 
   bool terminated() const { return state == ThreadState::kTerminated; }
 };

@@ -5,6 +5,7 @@
 
 #include "src/arch/context.hpp"
 #include "src/core/api_internal.hpp"
+#include "src/debug/metrics.hpp"
 #include "src/debug/trace.hpp"
 #include "src/io/io.hpp"
 #include "src/signals/sigmodel.hpp"
@@ -155,11 +156,14 @@ void FakeCallUserHandler(Tcb* t, int signo, const VSigAction& action) {
   t->sigmask |= action.mask | SigBit(signo);
   ++t->signals_taken;
   debug::trace::Log(debug::trace::Event::kSignal, t->id, static_cast<uint32_t>(signo));
+  debug::metrics::OnSignalDelivered(t);
 
   if (t == kernel::Current()) {
     rec->self_direct = true;  // drained by RunSelfHandlers() after kernel exit
     return;
   }
+  debug::trace::Log(debug::trace::Event::kFakeCall, t->id, static_cast<uint32_t>(signo));
+  debug::metrics::OnFakeCall(t);
   InstallOnThread(t, &UserHandlerTramp, rec);
 }
 
@@ -171,6 +175,8 @@ void FakeCallCancel(Tcb* t) {
   rec->handler = nullptr;
   rec->saved_mask = t->sigmask;
   debug::trace::Log(debug::trace::Event::kSignal, t->id, kSigCancel);
+  debug::trace::Log(debug::trace::Event::kFakeCall, t->id, kSigCancel);
+  debug::metrics::OnFakeCall(t);
   InstallOnThread(t, &CancelTramp, rec);
 }
 

@@ -11,6 +11,7 @@
 // repositions the running thread at the tail of its queue when the expiration was caused by
 // time slicing.
 
+#include "src/debug/metrics.hpp"
 #include "src/debug/trace.hpp"
 #include "src/hostos/unix_if.hpp"
 #include "src/kernel/kernel.hpp"
@@ -110,6 +111,8 @@ void OnTimerTick() {
   KernelState& k = kernel::ks();
   k.itimer_deadline_ns = -1;  // the programmed shot has fired (or we are past it)
   const int64_t now = NowNs();
+  debug::metrics::OnTimerTick();
+  uint32_t expired = 0;
 
   for (;;) {
     TimerEntry* head = k.timers.Front();
@@ -118,6 +121,7 @@ void OnTimerTick() {
     }
     head->link.Unlink();
     head->armed = false;
+    ++expired;
     Tcb* t = head->owner;
     if (head->kind == TimerEntry::Kind::kBlockTimeout) {
       // Model action 2, sleeper half: "the selected thread becomes ready if it was suspended".
@@ -140,11 +144,15 @@ void OnTimerTick() {
     if (cur != nullptr && cur->state == ThreadState::kRunning &&
         cur->policy == SchedPolicy::kRr && !k.ready.empty()) {
       cur->state = ThreadState::kReady;
+      debug::metrics::OnStateChange(cur, ThreadState::kReady);
+      debug::metrics::MarkPreemption();  // losing the slice is a preemption, not a yield
       k.ready.PushBack(cur);
       k.dispatch_pending = 1;
     }
   }
 
+  debug::trace::Log(debug::trace::Event::kTimerTick,
+                    k.current != nullptr ? k.current->id : 0, expired);
   ProgramItimer();
 }
 

@@ -23,6 +23,7 @@
 
 #include "src/arch/ras.hpp"
 #include "src/debug/introspect.hpp"
+#include "src/debug/metrics.hpp"
 #include "src/debug/trace.hpp"
 #include "src/hostos/unix_if.hpp"
 #include "src/kernel/kernel.hpp"
@@ -155,6 +156,7 @@ void SyncHandler(int signo, siginfo_t* info, void* ucv) {
     const SigSet saved = self->sigmask;
     self->sigmask |= a.mask | SigBit(signo);
     ++self->signals_taken;
+    debug::metrics::OnSignalDelivered(self);
     a.handler(signo);
     self->sigmask = saved;
     ApplyRedirectIfAny();

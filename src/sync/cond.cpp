@@ -4,6 +4,7 @@
 #include <new>
 
 #include "src/cancel/cancel.hpp"
+#include "src/debug/trace.hpp"
 #include "src/kernel/kernel.hpp"
 #include "src/signals/sigmodel.hpp"
 #include "src/util/assert.hpp"
@@ -79,6 +80,7 @@ int CondWait(Cond* c, Mutex* m, int64_t deadline_ns) {
     sig::ArmBlockTimer(self, deadline_ns);
   }
 
+  debug::trace::Log(debug::trace::Event::kCondWait, self->id, c->tag);
   kernel::Suspend(BlockReason::kCond);
 
   if (deadline_ns >= 0) {
@@ -119,6 +121,7 @@ int CondSignal(Cond* c) {
   }
   kernel::Enter();
   Tcb* w = c->waiters.PopFront();  // priority-ordered: front is the highest priority
+  debug::trace::Log(debug::trace::Event::kCondSignal, w != nullptr ? w->id : 0, c->tag);
   if (w != nullptr) {
     ++c->signals_sent;
     w->cond_signalled = true;
@@ -137,6 +140,7 @@ int CondBroadcast(Cond* c) {
   kernel::Enter();
   Tcb* w;
   while ((w = c->waiters.PopFront()) != nullptr) {
+    debug::trace::Log(debug::trace::Event::kCondSignal, w->id, c->tag);
     ++c->signals_sent;
     w->cond_signalled = true;
     sig::CancelBlockTimer(w);

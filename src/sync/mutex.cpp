@@ -5,10 +5,12 @@
 #include "src/sched/perverted.hpp"
 
 #include "src/arch/ras.hpp"
+#include "src/debug/metrics.hpp"
 #include "src/debug/trace.hpp"
 #include "src/kernel/kernel.hpp"
 #include "src/sched/policy.hpp"
 #include "src/util/assert.hpp"
+#include "src/util/dual_loop_timer.hpp"
 
 namespace fsup::sync {
 namespace {
@@ -16,11 +18,12 @@ namespace {
 uint32_t g_next_tag = 1;
 
 // True when the uncontended lock/unlock may bypass the kernel entirely. Protocol mutexes must
-// enter (they manipulate priorities); perverted mutex-switch needs the hook on every lock; and
-// tracing wants every event.
+// enter (they manipulate priorities); perverted mutex-switch needs the hook on every lock;
+// tracing wants every event; and metrics need the kernel path to bracket hold times.
 bool FastPathAllowed(const Mutex* m) {
   return m->proto == MutexProtocol::kNone &&
-         kernel::ks().perverted == PervertedPolicy::kNone && !debug::trace::Enabled();
+         kernel::ks().perverted == PervertedPolicy::kNone && !debug::trace::Enabled() &&
+         !debug::metrics::Enabled();
 }
 
 void AddToOwnedList(Mutex* m, Tcb* t) {
@@ -68,6 +71,9 @@ int OnAcquired(Mutex* m, Tcb* self) {
     }
   }
   debug::trace::Log(debug::trace::Event::kMutexLock, self->id, m->tag);
+  if (debug::metrics::Enabled()) {
+    m->acquired_at_ns = NowNs();  // opens the hold interval sampled by UnlockInKernel
+  }
   return 0;
 }
 
@@ -158,9 +164,13 @@ int LockInKernel(Mutex* m, Tcb* self) {
   if (m->holder() == self) {
     return EDEADLK;
   }
+  int64_t wait_start_ns = 0;  // opened on the first contended pass, closed at acquisition
   while (m->lock_word != 0) {
     if (m->owner == self) {
       // Direct handoff from an unlocker; the lock word never dropped.
+      if (wait_start_ns != 0) {
+        debug::metrics::OnMutexWait(self, NowNs() - wait_start_ns);
+      }
       return OnAcquired(m, self);
     }
     // Walk the wait-for graph before blocking: if the owner chain leads back to us, waiting
@@ -170,6 +180,9 @@ int LockInKernel(Mutex* m, Tcb* self) {
     if (WouldDeadlock(m, self)) {
       debug::trace::Log(debug::trace::Event::kDeadlock, self->id, m->tag);
       return EDEADLK;
+    }
+    if (wait_start_ns == 0 && debug::metrics::Enabled()) {
+      wait_start_ns = NowNs();
     }
     ++m->contended_acquires;
     debug::trace::Log(debug::trace::Event::kMutexBlock, self->id, m->tag);
@@ -185,6 +198,9 @@ int LockInKernel(Mutex* m, Tcb* self) {
   }
   m->lock_word = 1;
   m->owner = self;
+  if (wait_start_ns != 0) {
+    debug::metrics::OnMutexWait(self, NowNs() - wait_start_ns);
+  }
   return OnAcquired(m, self);
 }
 
@@ -192,6 +208,10 @@ void UnlockInKernel(Mutex* m, Tcb* self) {
   FSUP_ASSERT(kernel::InKernel());
   FSUP_ASSERT(m->holder() == self);
   debug::trace::Log(debug::trace::Event::kMutexUnlock, self->id, m->tag);
+  if (m->acquired_at_ns != 0) {
+    debug::metrics::OnMutexHold(NowNs() - m->acquired_at_ns);
+    m->acquired_at_ns = 0;
+  }
 
   // Protocol: lower the priority on unlock.
   switch (m->proto) {

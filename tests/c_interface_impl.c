@@ -52,6 +52,28 @@ static void* sem_waiter(void* arg) {
   return 0;
 }
 
+/* Observability through the C boundary: user trace events, a metrics dump to a pipe-less fd
+ * sink (-1 must fail cleanly, a real fd succeed), and a trace export. The C++ harness
+ * enables tracing and checks the logged events; this side only proves the symbols are plain
+ * C-callable. */
+long c_interface_observability_smoke(int dump_fd, const char* trace_path) {
+  fsup_init();
+  fsup_metrics_enable(1);
+  fsup_trace_user(1001u, 2002u);
+  fsup_trace_user(1002u, 2003u);
+  if (fsup_metrics_dump(-1) == 0) {
+    return -1;
+  }
+  if (fsup_metrics_dump(dump_fd) != 0) {
+    return -2;
+  }
+  fsup_metrics_enable(0);
+  if (trace_path != 0 && fsup_trace_dump(trace_path) != 0) {
+    return -3;
+  }
+  return 0;
+}
+
 long c_interface_sem_smoke(void) {
   fsup_init();
   if (fsup_sem_create(&g_sem, 0) != 0) {

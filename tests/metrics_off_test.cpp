@@ -1,0 +1,66 @@
+// The FSUP_METRICS=OFF configuration, compiled in-tree: this TU defines FSUP_NO_METRICS
+// (see tests/CMakeLists.txt) and deliberately does NOT link the fsup library — it exercises
+// exactly what the compiled-out configuration exposes from the header: the unconditional
+// snapshot types, the header-inline histogram, and the hook stubs that must vanish to
+// no-ops. Keeping this binary library-free also guards against an ODR trap: linking an
+// FSUP_NO_METRICS TU against a metrics-ON library would pick one of two incompatible inline
+// Enabled() definitions at random.
+
+#ifndef FSUP_NO_METRICS
+#error "this test must be compiled with FSUP_NO_METRICS (see tests/CMakeLists.txt)"
+#endif
+
+#include <gtest/gtest.h>
+
+#include "src/debug/metrics.hpp"
+
+namespace fsup {
+namespace {
+
+namespace m = debug::metrics;
+
+TEST(MetricsOffTest, EnabledIsConstexprFalse) {
+  static_assert(!m::Enabled(), "compiled-out metrics must report disabled at compile time");
+  EXPECT_FALSE(m::Enabled());
+}
+
+TEST(MetricsOffTest, HooksAreCallableNoOps) {
+  // Null TCBs are fine: the stubs must not touch their arguments.
+  m::Enable(true);
+  EXPECT_FALSE(m::Enabled());  // still off — Enable is a stub in this configuration
+  m::OnStateChange(nullptr, ThreadState::kReady);
+  m::OnSwitch(nullptr, nullptr);
+  m::MarkPreemption();
+  m::OnMutexWait(nullptr, 123);
+  m::OnMutexHold(456);
+  m::OnSignalDelivered(nullptr);
+  m::OnFakeCall(nullptr);
+  m::OnTimerTick();
+  m::OnIdlePoll();
+}
+
+TEST(MetricsOffTest, SnapshotTypesKeepOneAbi) {
+  // The types exist and zero-initialize identically to the ON configuration, so code
+  // holding a MetricsSnapshot compiles and behaves the same under both builds.
+  m::MetricsSnapshot s;
+  EXPECT_FALSE(s.enabled);
+  EXPECT_EQ(0u, s.thread_count);
+  EXPECT_EQ(0u, s.mutex_wait.count);
+  EXPECT_EQ(0, s.mutex_wait.PercentileNs(99));
+  EXPECT_EQ(static_cast<size_t>(m::kMaxSnapshotThreads),
+            sizeof(s.threads) / sizeof(s.threads[0]));
+}
+
+TEST(MetricsOffTest, HistogramStillWorksStandalone) {
+  m::LatencyHist h;
+  h.Add(100);
+  h.Add(200);
+  h.Add(1 << 20);
+  EXPECT_EQ(3u, h.count);
+  EXPECT_GT(h.PercentileNs(50), 0);
+  EXPECT_GE(h.max_ns, 1 << 20);
+  EXPECT_GT(h.MeanNs(), 0.0);
+}
+
+}  // namespace
+}  // namespace fsup
