@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "src/arch/ras.hpp"
+#include "src/io/io.hpp"
 #include "src/kernel/kernel.hpp"
 #include "src/util/dual_loop_timer.hpp"
 
@@ -171,6 +172,14 @@ void Capture(MetricsSnapshot* out) {
   out->fake_calls = g_state.fake_calls;
   out->timer_ticks = g_state.timer_ticks;
   out->idle_polls = g_state.idle_polls;
+  const io::IoStats ios = io::GetStats();
+  out->io_waits = ios.waits;
+  out->io_wakeups = ios.wakeups;
+  out->io_cache_hits = ios.cache_hits;
+  out->io_cache_misses = ios.cache_misses;
+  out->io_demotions = ios.demotions;
+  out->io_probes = ios.probes;
+  out->io_epoll_backend = ios.epoll_backend;
   out->sched_latency = g_state.sched_latency;
   out->mutex_wait = g_state.mutex_wait;
   out->mutex_hold = g_state.mutex_hold;
@@ -234,6 +243,15 @@ int DumpText(int fd) {
        static_cast<unsigned long long>(s.ras_restarts),
        static_cast<unsigned long long>(s.timer_ticks),
        static_cast<unsigned long long>(s.idle_polls));
+  emit("  io[%s] waits=%llu wakeups=%llu cache_hits=%llu cache_misses=%llu demotions=%llu "
+       "probes=%llu\n",
+       s.io_epoll_backend ? "epoll" : "poll",
+       static_cast<unsigned long long>(s.io_waits),
+       static_cast<unsigned long long>(s.io_wakeups),
+       static_cast<unsigned long long>(s.io_cache_hits),
+       static_cast<unsigned long long>(s.io_cache_misses),
+       static_cast<unsigned long long>(s.io_demotions),
+       static_cast<unsigned long long>(s.io_probes));
 
   auto hist = [&](const char* label, const LatencyHist& h) {
     emit("  %-13s n=%-8llu mean=%-10.0f p50=%-8lld p95=%-8lld p99=%-8lld max=%lld (ns)\n",

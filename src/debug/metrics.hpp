@@ -139,6 +139,16 @@ struct MetricsSnapshot {
   uint64_t timer_ticks = 0;
   uint64_t idle_polls = 0;
 
+  // I/O readiness core (live regardless of the metrics flag — io keeps its own cheap
+  // counters; see io::GetStats). io_cache_hits counts waits that made zero epoll_ctl calls.
+  uint64_t io_waits = 0;
+  uint64_t io_wakeups = 0;
+  uint64_t io_cache_hits = 0;
+  uint64_t io_cache_misses = 0;
+  uint64_t io_demotions = 0;
+  uint64_t io_probes = 0;
+  bool io_epoll_backend = false;
+
   LatencyHist sched_latency;  // ready -> running
   LatencyHist mutex_wait;     // first contended block -> acquisition
   LatencyHist mutex_hold;     // kernel-path acquisition -> unlock

@@ -59,6 +59,8 @@ constexpr NameEntry kCallNames[] = {
     {"munmap", Call::kMunmap},       {"mprotect", Call::kMprotect},
     {"sigaltstack", Call::kSigaltstack}, {"kill", Call::kKill},
     {"poll", Call::kPoll},
+    {"epoll_create", Call::kEpollCreate}, {"epoll_ctl", Call::kEpollCtl},
+    {"epoll_wait", Call::kEpollWait},
 };
 
 struct ErrnoEntry {

@@ -13,7 +13,7 @@
 //   <call>:<mode>:<errno>
 //
 //   <call>   sigaction | sigprocmask | setitimer | mmap | munmap | mprotect |
-//            sigaltstack | kill | poll
+//            sigaltstack | kill | poll | epoll_create | epoll_ctl | epoll_wait
 //   <mode>   n=<N>        fail the Nth invocation after arming (one-shot, 1-based)
 //            k=<K>        fail every Kth invocation after arming
 //            p=<P>@<seed> fail with probability P/1000, seeded pseudo-random

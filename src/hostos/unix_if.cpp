@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <climits>
 
 #include "src/hostos/fault.hpp"
 #include "src/util/assert.hpp"
@@ -13,6 +14,7 @@ namespace fsup::hostos {
 namespace {
 
 uint64_t g_counts[static_cast<int>(Call::kCount)] = {};
+int g_last_poll_timeout_ms = 0;
 
 void Bump(Call c) { ++g_counts[static_cast<int>(c)]; }
 
@@ -87,6 +89,7 @@ int Kill(pid_t pid, int signo) {
 
 int Poll(struct pollfd* fds, nfds_t n, int timeout_ms) {
   Bump(Call::kPoll);
+  g_last_poll_timeout_ms = timeout_ms;
   const int injected = fault::ShouldFail(Call::kPoll);
   if (injected != 0) {
     errno = injected;
@@ -94,6 +97,65 @@ int Poll(struct pollfd* fds, nfds_t n, int timeout_ms) {
   }
   return ::poll(fds, n, timeout_ms);
 }
+
+int EpollCreate() {
+  Bump(Call::kEpollCreate);
+  const int injected = fault::ShouldFail(Call::kEpollCreate);
+  if (injected != 0) {
+    errno = injected;
+    return -1;
+  }
+  return ::epoll_create1(EPOLL_CLOEXEC);
+}
+
+int EpollCtl(int epfd, int op, int fd, struct epoll_event* ev) {
+  Bump(Call::kEpollCtl);
+  const int injected = fault::ShouldFail(Call::kEpollCtl);
+  if (injected != 0) {
+    errno = injected;
+    return -1;
+  }
+  return ::epoll_ctl(epfd, op, fd, ev);
+}
+
+int EpollPwait2(int epfd, struct epoll_event* events, int maxevents, int64_t timeout_ns) {
+  Bump(Call::kEpollWait);
+  const int injected = fault::ShouldFail(Call::kEpollWait);
+  if (injected != 0) {
+    errno = injected;
+    return -1;
+  }
+  // Host support for epoll_pwait2 is probed on first use and remembered: a kernel without it
+  // answers ENOSYS forever, so every later sleep goes straight to the ms fallback.
+  static bool pwait2_works = true;
+  if (pwait2_works) {
+    timespec ts;
+    timespec* tsp = nullptr;
+    if (timeout_ns >= 0) {
+      ts.tv_sec = timeout_ns / 1000000000;
+      ts.tv_nsec = timeout_ns % 1000000000;
+      tsp = &ts;
+    }
+    const int rc = ::epoll_pwait2(epfd, events, maxevents, tsp, nullptr);
+    if (rc >= 0 || errno != ENOSYS) {
+      return rc;
+    }
+    pwait2_works = false;
+  }
+  int timeout_ms;
+  if (timeout_ns < 0) {
+    timeout_ms = -1;
+  } else {
+    // Round up so a short sleep cannot busy-spin, clamp so a far-future deadline cannot
+    // overflow int (same hazard as the poll fallback path).
+    const int64_t ms = (timeout_ns + 999999) / 1000000;
+    timeout_ms = ms > INT_MAX ? INT_MAX : static_cast<int>(ms);
+  }
+  g_last_poll_timeout_ms = timeout_ms;
+  return ::epoll_wait(epfd, events, maxevents, timeout_ms);
+}
+
+int LastPollTimeoutMs() { return g_last_poll_timeout_ms; }
 
 size_t PageSize() {
   static const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));

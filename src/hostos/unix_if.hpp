@@ -11,6 +11,7 @@
 
 #include <poll.h>
 #include <signal.h>
+#include <sys/epoll.h>
 #include <sys/time.h>
 
 #include <cstddef>
@@ -28,6 +29,9 @@ enum class Call : int {
   kSigaltstack,
   kKill,
   kPoll,
+  kEpollCreate,
+  kEpollCtl,
+  kEpollWait,
   kCount,
 };
 
@@ -49,6 +53,19 @@ int Kill(pid_t pid, int signo);
 // Counted poll(2). Returns like the raw call; EINTR is NOT retried here because an interrupt
 // is meaningful to the idle loop (a deferred signal must be replayed) — io::PollOnce decides.
 int Poll(struct pollfd* fds, nfds_t n, int timeout_ms);
+
+// Counted epoll wrappers for the io readiness core. EpollCreate returns the epoll fd (with
+// CLOEXEC) or -1. EpollCtl does not retry EINTR (epoll_ctl cannot block). EpollPwait2 sleeps
+// with nanosecond precision via epoll_pwait2(2) where the host supports it, deciding once and
+// thereafter falling back to ms-rounded (clamped) epoll_wait(2); timeout_ns < 0 blocks until
+// an event or a signal. Like Poll, EINTR is NOT retried — the idle loop owns that decision.
+int EpollCreate();
+int EpollCtl(int epfd, int op, int fd, struct epoll_event* ev);
+int EpollPwait2(int epfd, struct epoll_event* events, int maxevents, int64_t timeout_ns);
+
+// Telemetry for tests: the millisecond timeout handed to the most recent Poll (or ms-fallback
+// EpollPwait2) call. Pins the far-future-deadline clamp without racing real time.
+int LastPollTimeoutMs();
 
 // Maps a thread stack with an inaccessible guard page at the low end; returns the *usable*
 // base (just above the guard) or nullptr. usable_size is rounded up to the page size.

@@ -1,7 +1,13 @@
 #include "src/io/io.hpp"
 
 #include <poll.h>
+#include <sys/epoll.h>
+#include <unistd.h>
+
 #include <cerrno>
+#include <climits>
+#include <cstdlib>
+#include <new>
 
 #include "src/cancel/cancel.hpp"
 #include "src/debug/metrics.hpp"
@@ -10,96 +16,360 @@
 #include "src/signals/sigmodel.hpp"
 #include "src/util/assert.hpp"
 #include "src/util/dual_loop_timer.hpp"
+#include "src/util/intrusive_list.hpp"
 
 namespace fsup::io {
 namespace {
 
-constexpr int kMaxWaiters = 64;
+enum class Backend : uint8_t { kUnresolved, kEpoll, kPoll };
 
-struct Waiter {
-  Tcb* t = nullptr;
+// Power of two; fd-keyed registries are small (the node count tracks *waited* fds, not open
+// ones), so collisions just lengthen a short chain.
+constexpr uint32_t kHashBuckets = 128;
+constexpr int kMaxEventsPerWait = 64;
+
+// One node per fd that currently has (or recently had) waiters. Under the epoll backend the
+// node IS the interest cache: `interest` mirrors what the kernel's interest set holds for this
+// fd, so a wait whose mask fits inside it makes no epoll_ctl call at all. Waiting threads hang
+// off `waiters` through Tcb::link (a thread blocks on at most one wait queue), which lifts the
+// seed's 64-waiter cap and makes enqueue/dequeue/ForgetThread O(1).
+struct FdState {
   int fd = -1;
-  short events = 0;
-  bool active = false;
+  uint32_t interest = 0;    // epoll event mask the kernel currently watches for us
+  bool registered = false;  // fd is present in the kernel's epoll interest set
+  uint32_t waiter_count = 0;
+  IntrusiveList<Tcb, &Tcb::link> waiters;
+  FdState* next = nullptr;  // hash chain / freelist link
 };
 
-Waiter g_waiters[kMaxWaiters];
-int g_active = 0;
+Backend g_backend = Backend::kUnresolved;
+int g_epfd = -1;
+FdState* g_buckets[kHashBuckets] = {};
+FdState* g_free = nullptr;  // recycled nodes; allocation happens only on first use of an fd
+int g_active = 0;           // threads suspended on some fd
+int g_cached = 0;           // live FdState nodes (== interest-cache entries under epoll)
+IoStats g_stats;
 
-Waiter* AllocSlot() {
-  for (Waiter& w : g_waiters) {
-    if (!w.active) {
-      return &w;
-    }
-  }
-  return nullptr;
+// poll-backend scratch, rebuilt each pass like the seed but dynamically sized.
+pollfd* g_pollfds = nullptr;
+FdState** g_pollslots = nullptr;
+uint32_t g_pollcap = 0;
+
+uint32_t BucketOf(int fd) {
+  return (static_cast<uint32_t>(fd) * 2654435761u) >> 25;  // top 7 bits: 128 buckets
 }
 
-}  // namespace
+uint32_t ToEpollMask(short events) {
+  uint32_t m = 0;
+  if ((events & POLLIN) != 0) {
+    m |= EPOLLIN;
+  }
+  if ((events & POLLOUT) != 0) {
+    m |= EPOLLOUT;
+  }
+  if ((events & POLLPRI) != 0) {
+    m |= EPOLLPRI;
+  }
+  return m;
+}
 
-bool HaveWaiters() { return g_active > 0; }
+uint32_t PollReventsToEpoll(short revents) {
+  uint32_t m = ToEpollMask(revents);
+  if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+    m |= EPOLLERR;  // error-class readiness wakes every waiter, as in poll(2)
+  }
+  return m;
+}
 
-void PollOnce(int64_t timeout_ns) {
-  FSUP_ASSERT(kernel::InKernel());
-  debug::metrics::OnIdlePoll();
+void ResolveBackend() {
+  if (g_backend != Backend::kUnresolved) {
+    return;
+  }
+  const char* v = std::getenv("FSUP_IO_BACKEND");
+  if (v != nullptr && v[0] == 'p') {
+    g_backend = Backend::kPoll;
+    return;
+  }
+  g_epfd = hostos::EpollCreate();
+  // No epoll instance (injected fault, exotic host): the poll path serves every wait.
+  g_backend = g_epfd >= 0 ? Backend::kEpoll : Backend::kPoll;
+}
 
-  pollfd fds[kMaxWaiters];
-  Waiter* slots[kMaxWaiters];
-  nfds_t n = 0;
-  for (Waiter& w : g_waiters) {
-    if (w.active) {
-      fds[n].fd = w.fd;
-      fds[n].events = w.events;
-      fds[n].revents = 0;
-      slots[n] = &w;
-      ++n;
+FdState* GetOrCreate(int fd) {
+  FdState** bucket = &g_buckets[BucketOf(fd)];
+  for (FdState* s = *bucket; s != nullptr; s = s->next) {
+    if (s->fd == fd) {
+      return s;
     }
   }
+  FdState* s = g_free;
+  if (s != nullptr) {
+    g_free = s->next;
+  } else {
+    s = new (std::nothrow) FdState();
+    if (s == nullptr) {
+      return nullptr;
+    }
+  }
+  s->fd = fd;
+  s->interest = 0;
+  s->registered = false;
+  s->waiter_count = 0;
+  s->next = *bucket;
+  *bucket = s;
+  ++g_cached;
+  return s;
+}
 
-  const int64_t deadline_ns = timeout_ns < 0 ? -1 : NowNs() + timeout_ns;
+void FreeFdState(FdState* s) {
+  FSUP_ASSERT(s->waiter_count == 0);
+  FdState** at = &g_buckets[BucketOf(s->fd)];
+  while (*at != s) {
+    at = &(*at)->next;
+  }
+  *at = s->next;
+  s->fd = -1;
+  s->next = g_free;
+  g_free = s;
+  --g_cached;
+}
+
+// Frees a node that holds neither waiters nor a kernel registration. A *registered* empty
+// node is deliberately kept: it is the interest cache that lets the next wait on this fd skip
+// epoll_ctl entirely.
+void MaybeReclaim(FdState* s) {
+  if (s->waiter_count == 0 && !s->registered) {
+    FreeFdState(s);
+  }
+}
+
+// Makes the kernel's interest set cover `mask` for s->fd. The common case — fd already
+// registered with a superset — is a pure cache hit: zero syscalls. The ctl is self-healing
+// against close/reopen races the cache cannot see: the kernel auto-removes a closed fd, so a
+// MOD can answer ENOENT (retry as ADD) and an ADD can answer EEXIST (retry as MOD).
+int EnsureInterest(FdState* s, uint32_t mask) {
+  if (s->registered && (s->interest & mask) == mask) {
+    ++g_stats.cache_hits;
+    return 0;
+  }
+  ++g_stats.cache_misses;
+  const uint32_t want = s->interest | mask;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.ptr = s;
+  int rc = hostos::EpollCtl(g_epfd, s->registered ? EPOLL_CTL_MOD : EPOLL_CTL_ADD, s->fd, &ev);
+  if (rc != 0 && errno == ENOENT) {
+    rc = hostos::EpollCtl(g_epfd, EPOLL_CTL_ADD, s->fd, &ev);
+  } else if (rc != 0 && errno == EEXIST) {
+    rc = hostos::EpollCtl(g_epfd, EPOLL_CTL_MOD, s->fd, &ev);
+  }
+  if (rc != 0) {
+    return -1;
+  }
+  s->registered = true;
+  s->interest = want;
+  return 0;
+}
+
+void DetachWaiter(FdState* s, Tcb* t) {
+  t->link.Unlink();
+  FSUP_ASSERT(s->waiter_count > 0);
+  --s->waiter_count;
+  --g_active;
+  t->io_wait_node = nullptr;
+}
+
+// Wakes every waiter on s whose mask intersects the reported readiness (error-class events
+// wake all, as poll(2) reports POLLERR/POLLHUP regardless of the requested mask).
+int WakeMatching(FdState* s, uint32_t revents) {
+  int woke = 0;
+  s->waiters.ForEachSafe([&](Tcb* t) {
+    if ((revents & (EPOLLERR | EPOLLHUP)) != 0 ||
+        (revents & ToEpollMask(t->io_events)) != 0) {
+      DetachWaiter(s, t);
+      t->io_ready = true;
+      kernel::MakeReady(t);
+      ++g_stats.wakeups;
+      ++woke;
+    }
+  });
+  return woke;
+}
+
+// A level-triggered readiness report that woke nobody would repeat on every idle pass and
+// busy-spin the process. Narrow the kernel-side interest to what the remaining waiters
+// actually want (none → drop error-only fds from the set entirely). This runs only on the
+// zero-wake path, so the steady state — waits served from the cache, wakes consuming the
+// readiness — still makes no epoll_ctl calls.
+void DemoteStale(FdState* s, uint32_t revents) {
+  ++g_stats.demotions;
+  uint32_t want = 0;
+  for (Tcb* t : s->waiters) {
+    want |= ToEpollMask(t->io_events);
+  }
+  if (want == 0 && (revents & (EPOLLERR | EPOLLHUP)) != 0) {
+    // ERR/HUP cannot be masked away; with no waiters left, deregister and forget the fd.
+    hostos::EpollCtl(g_epfd, EPOLL_CTL_DEL, s->fd, nullptr);
+    s->registered = false;
+    s->interest = 0;
+    MaybeReclaim(s);
+    return;
+  }
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.ptr = s;
+  if (hostos::EpollCtl(g_epfd, EPOLL_CTL_MOD, s->fd, &ev) == 0) {
+    s->interest = want;
+  } else if (errno == ENOENT) {
+    s->registered = false;  // the kernel already dropped it (fd closed)
+    s->interest = 0;
+    MaybeReclaim(s);
+  }
+}
+
+// Shared EINTR policy, identical to the seed: an interrupt that carries a deferred signal or a
+// pending dispatch must return to the idle loop for replay; a bare one (stray or injected)
+// retries with the remaining budget. Returns true if the caller should keep sleeping.
+bool RetryAfterEintr(int64_t deadline_ns) {
+  KernelState& k = kernel::ks();
+  const bool meaningful = k.sigs_caught_in_kernel.load(std::memory_order_relaxed) != 0 ||
+                          k.dispatch_pending != 0;
+  if (errno != EINTR || meaningful) {
+    return false;
+  }
+  return deadline_ns < 0 || NowNs() < deadline_ns;
+}
+
+void EpollPass(int64_t deadline_ns) {
+  epoll_event evs[kMaxEventsPerWait];
   int rc;
   for (;;) {
-    int timeout_ms;
-    if (deadline_ns < 0) {
-      timeout_ms = -1;  // sleep until a signal arrives
-    } else {
+    int64_t budget_ns = -1;
+    if (deadline_ns >= 0) {
       const int64_t remaining = deadline_ns - NowNs();
-      timeout_ms = remaining > 0 ? static_cast<int>((remaining + 999999) / 1000000) : 0;
+      budget_ns = remaining > 0 ? remaining : 0;
     }
-    // Signals are unblocked here (the idle loop ensures it); they interrupt the poll and are
+    // Signals are unblocked here (the idle loop ensures it); they interrupt the sleep and are
     // replayed by the dispatcher since the kernel flag is set.
-    rc = hostos::Poll(n > 0 ? fds : nullptr, n, timeout_ms);
+    rc = hostos::EpollPwait2(g_epfd, evs, kMaxEventsPerWait, budget_ns);
     if (rc >= 0) {
       break;
     }
-    // EINTR with nothing logged and nothing readied is benign (a stray or injected
-    // interrupt): retry with the remaining timeout, keeping every waiter registered. An
-    // EINTR that carries a deferred signal or a pending dispatch must return so the idle
-    // loop can replay it; any other error also returns — the waiters stay queued and the
-    // next idle pass retries.
-    KernelState& k = kernel::ks();
-    const bool meaningful =
-        k.sigs_caught_in_kernel.load(std::memory_order_relaxed) != 0 ||
-        k.dispatch_pending != 0;
-    if (errno != EINTR || meaningful) {
+    if (!RetryAfterEintr(deadline_ns)) {
       return;
     }
-    if (deadline_ns >= 0 && NowNs() >= deadline_ns) {
-      return;  // interrupted at (or past) the deadline: treat as a timeout
+  }
+  // O(ready) dispatch: only fds the kernel reported are touched, however many are registered.
+  for (int i = 0; i < rc; ++i) {
+    FdState* s = static_cast<FdState*>(evs[i].data.ptr);
+    if (WakeMatching(s, evs[i].events) == 0) {
+      DemoteStale(s, evs[i].events);
+    }
+  }
+}
+
+bool GrowPollScratch(uint32_t need) {
+  if (need <= g_pollcap) {
+    return true;
+  }
+  uint32_t cap = g_pollcap == 0 ? 64 : g_pollcap;
+  while (cap < need) {
+    cap *= 2;
+  }
+  auto* fds = new (std::nothrow) pollfd[cap];
+  auto* slots = new (std::nothrow) FdState*[cap];
+  if (fds == nullptr || slots == nullptr) {
+    delete[] fds;
+    delete[] slots;
+    return false;
+  }
+  delete[] g_pollfds;
+  delete[] g_pollslots;
+  g_pollfds = fds;
+  g_pollslots = slots;
+  g_pollcap = cap;
+  return true;
+}
+
+void PollPass(int64_t deadline_ns) {
+  // The seed's strategy, cap lifted: rebuild a pollfd array from every fd that has waiters
+  // (O(registered) per pass — the cost the epoll backend exists to avoid).
+  nfds_t n = 0;
+  if (GrowPollScratch(static_cast<uint32_t>(g_cached))) {
+    for (FdState* bucket : g_buckets) {
+      for (FdState* s = bucket; s != nullptr; s = s->next) {
+        if (s->waiter_count == 0) {
+          continue;
+        }
+        short ev = 0;
+        for (Tcb* t : s->waiters) {
+          ev |= t->io_events;
+        }
+        g_pollfds[n].fd = s->fd;
+        g_pollfds[n].events = ev;
+        g_pollfds[n].revents = 0;
+        g_pollslots[n] = s;
+        ++n;
+      }
+    }
+  }
+  int rc;
+  for (;;) {
+    int timeout_ms = -1;
+    if (deadline_ns >= 0) {
+      timeout_ms = ClampedPollTimeoutMs(deadline_ns - NowNs());
+    }
+    rc = hostos::Poll(n > 0 ? g_pollfds : nullptr, n, timeout_ms);
+    if (rc >= 0) {
+      break;
+    }
+    if (!RetryAfterEintr(deadline_ns)) {
+      return;
     }
   }
   if (rc == 0) {
     return;  // timeout
   }
   for (nfds_t i = 0; i < n; ++i) {
-    if (fds[i].revents == 0) {
+    if (g_pollfds[i].revents == 0) {
       continue;
     }
-    Waiter* w = slots[i];
-    w->active = false;
-    --g_active;
-    w->t->io_ready = true;
-    kernel::MakeReady(w->t);
+    FdState* s = g_pollslots[i];
+    WakeMatching(s, PollReventsToEpoll(g_pollfds[i].revents));
+    MaybeReclaim(s);  // poll nodes hold no kernel registration worth caching
+  }
+}
+
+}  // namespace
+
+IoStats GetStats() {
+  IoStats out = g_stats;
+  out.active_waiters = g_active;
+  out.cached_fds = g_cached;
+  out.epoll_backend = g_backend == Backend::kEpoll;
+  return out;
+}
+
+bool HaveWaiters() { return g_active > 0; }
+
+int ClampedPollTimeoutMs(int64_t remaining_ns) {
+  if (remaining_ns <= 0) {
+    return 0;
+  }
+  const int64_t ms = (remaining_ns + 999999) / 1000000;
+  return ms > INT_MAX ? INT_MAX : static_cast<int>(ms);
+}
+
+void PollOnce(int64_t timeout_ns) {
+  FSUP_ASSERT(kernel::InKernel());
+  ResolveBackend();
+  debug::metrics::OnIdlePoll();
+  ++g_stats.probes;
+  const int64_t deadline_ns = timeout_ns < 0 ? -1 : NowNs() + timeout_ns;
+  if (g_backend == Backend::kEpoll) {
+    EpollPass(deadline_ns);
+  } else {
+    PollPass(deadline_ns);
   }
 }
 
@@ -108,26 +378,46 @@ int WaitFdReady(int fd, short events) {
   Tcb* self = kernel::Current();
   kernel::Enter();
   cancel::TestIntrInKernel();  // I/O waits are interruption points
+  ResolveBackend();
+  ++g_stats.waits;
 
-  Waiter* w = AllocSlot();
-  if (w == nullptr) {
+  FdState* s = GetOrCreate(fd);
+  if (s == nullptr) {
     kernel::Exit();
     errno = EAGAIN;
     return -1;
   }
-  w->t = self;
-  w->fd = fd;
-  w->events = events;
-  w->active = true;
-  ++g_active;
+  if (g_backend == Backend::kEpoll) {
+    if (EnsureInterest(s, ToEpollMask(events)) != 0) {
+      const int err = errno;
+      MaybeReclaim(s);
+      kernel::Exit();
+      if (err == EPERM) {
+        // Unpollable fd (regular file, …): poll(2) reports such fds as always ready, so the
+        // caller's read/write proceeds instead of blocking forever.
+        return 0;
+      }
+      errno = EAGAIN;
+      return -1;
+    }
+  } else {
+    ++g_stats.cache_hits;  // poll backend has no kernel interest set to miss
+  }
+
+  self->io_events = events;
   self->io_ready = false;
+  self->io_wait_node = s;
+  s->waiters.PushBack(self);
+  ++s->waiter_count;
+  ++g_active;
 
   kernel::Suspend(BlockReason::kIo);
 
-  if (w->active && w->t == self) {
-    // Woken by something other than the poller (fake call): release the slot.
-    w->active = false;
-    --g_active;
+  if (self->io_wait_node != nullptr) {
+    // Woken by something that bypassed both the poller and ForgetThread: drop the entry.
+    FSUP_ASSERT(self->io_wait_node == s);
+    DetachWaiter(s, self);
+    MaybeReclaim(s);
   }
   const bool ready = self->io_ready;
   cancel::TestIntrInKernel();
@@ -141,19 +431,48 @@ int WaitFdReady(int fd, short events) {
 }
 
 void ForgetThread(Tcb* t) {
-  for (Waiter& w : g_waiters) {
-    if (w.active && w.t == t) {
-      w.active = false;
-      --g_active;
-    }
+  FdState* s = static_cast<FdState*>(t->io_wait_node);
+  if (s == nullptr) {
+    return;
   }
+  DetachWaiter(s, t);
+  MaybeReclaim(s);
 }
 
 void ResetForTesting() {
-  for (Waiter& w : g_waiters) {
-    w = Waiter{};
+  for (FdState*& bucket : g_buckets) {
+    FdState* s = bucket;
+    while (s != nullptr) {
+      FdState* next = s->next;
+      s->waiters.ForEachSafe([&](Tcb* t) {
+        t->link.Unlink();
+        t->io_wait_node = nullptr;
+      });
+      delete s;
+      s = next;
+    }
+    bucket = nullptr;
   }
+  FdState* f = g_free;
+  while (f != nullptr) {
+    FdState* next = f->next;
+    delete f;
+    f = next;
+  }
+  g_free = nullptr;
+  if (g_epfd >= 0) {
+    ::close(g_epfd);
+    g_epfd = -1;
+  }
+  delete[] g_pollfds;
+  delete[] g_pollslots;
+  g_pollfds = nullptr;
+  g_pollslots = nullptr;
+  g_pollcap = 0;
   g_active = 0;
+  g_cached = 0;
+  g_stats = IoStats{};
+  g_backend = Backend::kUnresolved;  // pt_reinit re-reads FSUP_IO_BACKEND on next use
 }
 
 }  // namespace fsup::io

@@ -2,9 +2,25 @@
 //
 // A true library implementation must not let one thread's blocking read(2) stall the whole
 // process. pt_read/pt_write put the fd in non-blocking mode, attempt the operation, and on
-// EAGAIN suspend the calling thread on an I/O wait registry. The registry is polled (with zero
-// timeout) whenever the dispatcher goes idle, and the idle loop sleeps *in* ppoll so I/O
+// EAGAIN suspend the calling thread on an I/O wait registry. The registry is probed whenever
+// the dispatcher goes idle, and the idle sleep happens *in* the readiness syscall so I/O
 // readiness, timer signals, and external signals all wake it.
+//
+// Two backends share the registry (FSUP_IO_BACKEND=epoll|poll, default epoll):
+//
+//   epoll — a persistent kernel-owned interest set with a per-fd state cache. Each waited fd
+//   gets one FdState node (hash on fd) carrying the epoll registration it last made and an
+//   intrusive list of waiting threads. Registration happens once per fd; later waits that fit
+//   inside the cached interest mask make ZERO epoll_ctl calls, and wakeup dispatch walks only
+//   the fds the kernel reported ready (O(ready), not O(registered)). Idle sleeps use
+//   epoll_pwait2's nanosecond timeout where available.
+//
+//   poll — the seed's behaviour (rebuild a pollfd array every pass, O(registered) scan), kept
+//   as a tested fallback; it shares the FdState registry so the 64-waiter cap is lifted here
+//   too.
+//
+// Waiters are unbounded: threads hang off their fd's FdState through Tcb::link, so enqueue,
+// dequeue and fake-call removal are O(1).
 
 #ifndef FSUP_SRC_IO_IO_HPP_
 #define FSUP_SRC_IO_IO_HPP_
@@ -16,23 +32,47 @@
 
 namespace fsup::io {
 
+// Always-on cheap counters (bumped under the kernel monitor; no atomics needed). Exposed to
+// debug/metrics and to tests/benches that pin the interest-cache behaviour.
+struct IoStats {
+  uint64_t waits = 0;         // WaitFdReady suspensions
+  uint64_t wakeups = 0;       // threads woken by fd readiness
+  uint64_t cache_hits = 0;    // waits satisfied by the cached interest set (no epoll_ctl)
+  uint64_t cache_misses = 0;  // waits that had to ADD/MOD the kernel interest set
+  uint64_t demotions = 0;     // interest narrowed after a readiness report woke no waiter
+  uint64_t probes = 0;        // idle readiness probes (PollOnce calls)
+  int active_waiters = 0;     // threads currently suspended on an fd
+  int cached_fds = 0;         // live FdState nodes
+  bool epoll_backend = false; // which backend resolved
+};
+
+IoStats GetStats();
+
 // True if any thread is suspended waiting for fd readiness.
 bool HaveWaiters();
 
-// Polls all waited fds once. timeout_ns < 0 means "no fd waiters: sleep until a signal or
-// deadline"; 0 means non-blocking check. Wakes every thread whose fd became ready (or raised
-// an error). Must be called with the kernel entered; the poll itself keeps signals deliverable
-// (they are deferred by the kernel flag and replayed by the dispatcher).
+// Probes fd readiness once. timeout_ns < 0 means "no deadline: sleep until an event or a
+// signal"; 0 means non-blocking check. Wakes every thread whose fd became ready (or raised
+// an error). Must be called with the kernel entered; the sleep itself keeps signals
+// deliverable (they are deferred by the kernel flag and replayed by the dispatcher).
 void PollOnce(int64_t timeout_ns);
 
 // Registers the current thread as waiting for `events` (POLLIN/POLLOUT) on fd and suspends.
-// Returns 0 once ready, or -1 with errno (EINTR if woken by a signal handler, ECANCELED via
-// cancellation unwind). In kernel: no — call *outside* the kernel; it enters itself.
+// Returns 0 once ready, or -1 with errno (EINTR if woken by a signal handler, EAGAIN if the
+// backend could not register the fd, ECANCELED via cancellation unwind). In kernel: no — call
+// *outside* the kernel; it enters itself.
 int WaitFdReady(int fd, short events);
 
-// Removes t from the wait registry (fake-call unblocking, thread reap, reset).
+// Removes t from its fd's wait list (fake-call unblocking, thread reap, reset). O(1).
 void ForgetThread(Tcb* t);
 
+// Converts a remaining-time budget to a poll(2)/epoll_wait(2) millisecond timeout: rounds up
+// (a short sleep must not busy-spin) and clamps to INT_MAX (a far-future deadline must not
+// overflow int, which would turn a bounded wait into an infinite or zero-timeout poll).
+int ClampedPollTimeoutMs(int64_t remaining_ns);
+
+// Closes the epoll fd, frees every FdState, zeroes stats, and forgets the resolved backend so
+// the next use re-reads FSUP_IO_BACKEND (pt_reinit relies on this).
 void ResetForTesting();
 
 }  // namespace fsup::io

@@ -121,6 +121,13 @@ void MakeReady(Tcb* t, bool front) {
   KernelState& k = ks();
   FSUP_ASSERT(k.in_kernel != 0);
   FSUP_ASSERT(t->state != ThreadState::kTerminated);
+  // Every sigwait wakeup funnels through here — including the cancellation fake call, which
+  // never returns control to SigwaitInternal — so this is the one place the sigwait-blocked
+  // count (deadlock detection, O(1) ExternalWakeupPossible) can be maintained without leaks.
+  if (t->state == ThreadState::kBlocked && t->block_reason == BlockReason::kSigwait) {
+    FSUP_ASSERT(k.sigwait_blocked > 0);
+    --k.sigwait_blocked;
+  }
   // t may be the current thread: a blocked thread with no runnable peer idles on its own
   // stack inside the dispatcher, and its own timer/IO wakeup re-readies it.
   t->state = ThreadState::kReady;
@@ -144,6 +151,9 @@ void Suspend(BlockReason reason) {
   FSUP_ASSERT(self->state == ThreadState::kRunning);
   self->state = ThreadState::kBlocked;
   self->block_reason = reason;
+  if (reason == BlockReason::kSigwait) {
+    ++k.sigwait_blocked;  // paired with the decrement in MakeReady
+  }
   debug::metrics::OnStateChange(self, ThreadState::kBlocked);
   DispatchKeepKernel();
   // Resumed: made ready by a waker and selected by the dispatcher. Still in the kernel.

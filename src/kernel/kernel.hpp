@@ -21,6 +21,7 @@
 #include "src/kernel/ready_queue.hpp"
 #include "src/kernel/stack_pool.hpp"
 #include "src/kernel/tcb.hpp"
+#include "src/kernel/timer_heap.hpp"
 #include "src/kernel/types.hpp"
 #include "src/util/intrusive_list.hpp"
 #include "src/util/rng.hpp"
@@ -69,8 +70,14 @@ struct KernelState {
   bool os_handlers_installed = false;
 
   // -- timers ----------------------------------------------------------------------------
-  IntrusiveList<TimerEntry, &TimerEntry::link> timers;  // sorted by deadline
-  int64_t itimer_deadline_ns = -1;                      // what the interval timer is set to
+  TimerHeap timers;                 // armed per-thread timers, min-heap on deadline
+  int64_t itimer_deadline_ns = -1;  // what the interval timer is set to
+
+  // -- deadlock-detection counters (sig::ExternalWakeupPossible in O(1)) -------------------
+  // Maintained at the sigwait block/wake funnel (Suspend/MakeReady) and at sigaction-install
+  // time (SetAction), instead of scanning all_threads + actions[] on every idle pass.
+  uint32_t sigwait_blocked = 0;     // threads currently suspended in sigwait
+  uint32_t handlers_installed = 0;  // virtual dispositions with a user handler function
 
   bool initialized = false;
 

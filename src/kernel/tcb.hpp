@@ -21,10 +21,11 @@ struct Cond;
 struct Tcb;
 
 // A pending or armed per-thread timer. Each thread embeds two: one for blocking timeouts
-// (timedwait / delay / sigwait timeout) and one for pt_alarm. Linked into the kernel's
-// deadline-ordered timer list.
+// (timedwait / delay / sigwait timeout) and one for pt_alarm. Armed entries live in the
+// kernel's deadline min-heap (timer_heap.hpp); heap_idx is the entry's current heap slot so
+// cancellation can remove it in O(log n) without a search.
 struct TimerEntry {
-  ListNode link;
+  int32_t heap_idx = -1;  // slot in the kernel timer heap, -1 while disarmed
   Tcb* owner = nullptr;
   int64_t deadline_ns = 0;
   bool armed = false;
@@ -161,7 +162,9 @@ struct Tcb {
   void* join_result = nullptr;
 
   // -- I/O -------------------------------------------------------------------------------
-  bool io_ready = false;  // set when the awaited fd became ready (vs EINTR wakeup)
+  bool io_ready = false;   // set when the awaited fd became ready (vs EINTR wakeup)
+  short io_events = 0;     // poll(2) event mask this thread is waiting for
+  void* io_wait_node = nullptr;  // io::FdState whose wait list holds us (via link), or null
 
   // -- timers ----------------------------------------------------------------------------
   TimerEntry block_timer;

@@ -1,0 +1,144 @@
+// 4-ary min-heap of armed timers, keyed on deadline.
+//
+// The kernel keeps every armed per-thread timer (block timeouts, alarms) in one structure and
+// programs ITIMER_REAL for the earliest deadline. The seed kept a sorted intrusive list —
+// O(n) insertion made thousands of concurrent timed waits quadratic. The heap makes arm,
+// cancel and expiry O(log n) with the head (the only thing the idle loop and the interval
+// timer care about) readable in O(1). 4-ary rather than binary: the sift-down compare fan-out
+// matches a cache line of TimerEntry pointers and halves the tree height.
+//
+// Entries are TimerEntry objects embedded in TCBs; the heap stores pointers and writes each
+// entry's heap_idx back on every move, so removal of an arbitrary entry (timer cancellation)
+// is a position lookup plus one sift. Storage grows geometrically; growth happens only on Push
+// inside the kernel monitor, where signal handlers are deferred, so allocation is safe (same
+// discipline as the stack pool).
+
+#ifndef FSUP_SRC_KERNEL_TIMER_HEAP_HPP_
+#define FSUP_SRC_KERNEL_TIMER_HEAP_HPP_
+
+#include <cstdint>
+
+#include "src/kernel/tcb.hpp"
+#include "src/util/assert.hpp"
+
+namespace fsup {
+
+class TimerHeap {
+ public:
+  TimerHeap() = default;
+  TimerHeap(const TimerHeap&) = delete;
+  TimerHeap& operator=(const TimerHeap&) = delete;
+  ~TimerHeap() { delete[] slots_; }
+
+  bool empty() const { return size_ == 0; }
+  uint32_t size() const { return size_; }
+
+  // Earliest-deadline entry, or nullptr.
+  TimerEntry* Top() const { return size_ > 0 ? slots_[0] : nullptr; }
+
+  void Push(TimerEntry* e) {
+    FSUP_ASSERT(e->heap_idx < 0);
+    if (size_ == cap_) {
+      Grow();
+    }
+    Place(e, size_++);
+    SiftUp(e->heap_idx);
+  }
+
+  TimerEntry* PopMin() {
+    if (size_ == 0) {
+      return nullptr;
+    }
+    TimerEntry* top = slots_[0];
+    RemoveAt(0);
+    top->heap_idx = -1;
+    return top;
+  }
+
+  // Removes an arbitrary armed entry (timer cancellation) in O(log n).
+  void Remove(TimerEntry* e) {
+    const int32_t i = e->heap_idx;
+    FSUP_ASSERT(i >= 0 && static_cast<uint32_t>(i) < size_ && slots_[i] == e);
+    RemoveAt(static_cast<uint32_t>(i));
+    e->heap_idx = -1;
+  }
+
+ private:
+  static constexpr uint32_t kArity = 4;
+
+  void Place(TimerEntry* e, uint32_t i) {
+    slots_[i] = e;
+    e->heap_idx = static_cast<int32_t>(i);
+  }
+
+  void RemoveAt(uint32_t i) {
+    --size_;
+    if (i == size_) {
+      return;  // removed the last slot: nothing to re-seat
+    }
+    TimerEntry* moved = slots_[size_];
+    Place(moved, i);
+    // The hole filler came from the bottom: it may be too small for this subtree (cancelled
+    // entry sat below its cousin branch) or too large — sift whichever way applies.
+    SiftUp(i);
+    SiftDown(moved->heap_idx >= 0 ? static_cast<uint32_t>(moved->heap_idx) : i);
+  }
+
+  void SiftUp(int32_t from) {
+    uint32_t i = static_cast<uint32_t>(from);
+    while (i > 0) {
+      const uint32_t parent = (i - 1) / kArity;
+      if (slots_[parent]->deadline_ns <= slots_[i]->deadline_ns) {
+        break;
+      }
+      Swap(parent, i);
+      i = parent;
+    }
+  }
+
+  void SiftDown(uint32_t i) {
+    for (;;) {
+      const uint32_t first = i * kArity + 1;
+      if (first >= size_) {
+        break;
+      }
+      uint32_t best = first;
+      const uint32_t last = first + kArity < size_ ? first + kArity : size_;
+      for (uint32_t c = first + 1; c < last; ++c) {
+        if (slots_[c]->deadline_ns < slots_[best]->deadline_ns) {
+          best = c;
+        }
+      }
+      if (slots_[i]->deadline_ns <= slots_[best]->deadline_ns) {
+        break;
+      }
+      Swap(i, best);
+      i = best;
+    }
+  }
+
+  void Swap(uint32_t a, uint32_t b) {
+    TimerEntry* ta = slots_[a];
+    Place(slots_[b], a);
+    Place(ta, b);
+  }
+
+  void Grow() {
+    const uint32_t ncap = cap_ == 0 ? 16 : cap_ * 2;
+    TimerEntry** ns = new TimerEntry*[ncap];
+    for (uint32_t i = 0; i < size_; ++i) {
+      ns[i] = slots_[i];
+    }
+    delete[] slots_;
+    slots_ = ns;
+    cap_ = ncap;
+  }
+
+  TimerEntry** slots_ = nullptr;
+  uint32_t size_ = 0;
+  uint32_t cap_ = 0;
+};
+
+}  // namespace fsup
+
+#endif  // FSUP_SRC_KERNEL_TIMER_HEAP_HPP_

@@ -164,18 +164,11 @@ void HandleDeferred(SigSet set) {
 }
 
 bool ExternalWakeupPossible() {
+  // Runs on every idle pass as part of deadlock detection: O(1) on counters maintained where
+  // the state actually changes (Suspend/MakeReady for sigwait blocks, SetAction for handler
+  // installs) instead of rescanning every thread and every disposition.
   KernelState& k = kernel::ks();
-  for (Tcb* t : k.all_threads) {
-    if (t->state == ThreadState::kBlocked && t->block_reason == BlockReason::kSigwait) {
-      return true;
-    }
-  }
-  for (const VSigAction& a : k.actions) {
-    if (a.installed && a.handler != nullptr) {
-      return true;
-    }
-  }
-  return false;
+  return k.sigwait_blocked > 0 || k.handlers_installed > 0;
 }
 
 void BlockAllOsSignals() {

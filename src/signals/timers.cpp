@@ -1,10 +1,12 @@
 // Per-thread timers multiplexed onto one UNIX interval timer.
 //
 // Threads arm block timeouts (timed conditional waits, pt_delay) and alarms (pt_alarm); the
-// kernel keeps one deadline-ordered list and programs ITIMER_REAL for the earliest deadline
-// (including the round-robin slice). The resulting SIGALRM enters through the universal
-// handler; expirations are taken in the kernel on the tick path, which is also invoked from
-// the idle loop's timeout so a missing/coalesced signal cannot strand a sleeper.
+// kernel keeps every armed entry in a 4-ary min-heap keyed on deadline (timer_heap.hpp) and
+// programs ITIMER_REAL for the earliest deadline (including the round-robin slice). Arm,
+// cancel and expiry are O(log n); the idle loop's NextDeadlineNs is O(1). The resulting
+// SIGALRM enters through the universal handler; expirations are taken in the kernel on the
+// tick path, which is also invoked from the idle loop's timeout so a missing/coalesced signal
+// cannot strand a sleeper.
 //
 // Delivery follows the paper: a timer expiration directs SIGALRM "at the thread which armed
 // the timer" (recipient rule 3); the action (model action 2) readies a suspended sleeper, or
@@ -23,27 +25,17 @@
 namespace fsup::sig {
 namespace {
 
-void InsertSorted(KernelState& k, TimerEntry* e) {
-  for (TimerEntry* at : k.timers) {
-    if (at->deadline_ns > e->deadline_ns) {
-      k.timers.InsertBefore(at, e);
-      return;
-    }
-  }
-  k.timers.PushBack(e);
-}
-
 void Arm(TimerEntry* e, Tcb* t, int64_t deadline_ns, TimerEntry::Kind kind) {
   FSUP_ASSERT(kernel::InKernel());
   KernelState& k = kernel::ks();
   if (e->armed) {
-    e->link.Unlink();
+    k.timers.Remove(e);
   }
   e->owner = t;
   e->deadline_ns = deadline_ns;
   e->kind = kind;
   e->armed = true;
-  InsertSorted(k, e);
+  k.timers.Push(e);
   ProgramItimer();
 }
 
@@ -51,11 +43,15 @@ void Cancel(TimerEntry* e) {
   if (!e->armed) {
     return;
   }
+  FSUP_ASSERT(kernel::InKernel());
   e->armed = false;
-  e->link.Unlink();
-  // Leaving the interval timer programmed for a cancelled deadline is harmless: the tick
-  // handler finds nothing due and reprograms. Avoiding the common disarm/rearm churn matters
-  // more (timed waits usually complete before their deadline).
+  kernel::ks().timers.Remove(e);
+  // If the cancelled entry was the heap head, the interval timer is programmed for a deadline
+  // nobody is waiting on: a timed wait that completes early would otherwise still take a stale
+  // SIGALRM (a wasted wakeup, and under a create/cancel storm a stream of them). ProgramItimer
+  // compares against itimer_deadline_ns, so when the head did NOT change this is a no-op — the
+  // common complete-before-deadline case costs no setitimer churn beyond the head case.
+  ProgramItimer();
 }
 
 }  // namespace
@@ -75,7 +71,7 @@ void CancelAlarm(Tcb* t) { Cancel(&t->alarm_timer); }
 int64_t NextDeadlineNs() {
   KernelState& k = kernel::ks();
   int64_t next = -1;
-  TimerEntry* head = k.timers.Front();
+  TimerEntry* head = k.timers.Top();
   if (head != nullptr) {
     next = head->deadline_ns;
   }
@@ -115,11 +111,11 @@ void OnTimerTick() {
   uint32_t expired = 0;
 
   for (;;) {
-    TimerEntry* head = k.timers.Front();
+    TimerEntry* head = k.timers.Top();
     if (head == nullptr || head->deadline_ns > now) {
       break;
     }
-    head->link.Unlink();
+    k.timers.PopMin();
     head->armed = false;
     ++expired;
     Tcb* t = head->owner;

@@ -248,6 +248,7 @@ int SetAction(int signo, void (*handler)(int), SigSet mask, bool ignore, VSigAct
     *old = k.actions[signo];
   }
   VSigAction& a = k.actions[signo];
+  const bool had_handler = a.installed && a.handler != nullptr;
   if (handler == nullptr && !ignore) {
     a = VSigAction{};  // back to default disposition
   } else {
@@ -255,6 +256,16 @@ int SetAction(int signo, void (*handler)(int), SigSet mask, bool ignore, VSigAct
     a.mask = mask;
     a.ignore = ignore;
     a.installed = true;
+  }
+  // Keep the O(1) deadlock-detection counter in step with the disposition table.
+  const bool has_handler = a.installed && a.handler != nullptr;
+  if (had_handler != has_handler) {
+    if (has_handler) {
+      ++k.handlers_installed;
+    } else {
+      FSUP_ASSERT(k.handlers_installed > 0);
+      --k.handlers_installed;
+    }
   }
   kernel::Exit();
   return 0;

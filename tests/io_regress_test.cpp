@@ -1,0 +1,192 @@
+// Regression pins for the satellite fixes that rode along with the epoll readiness core:
+//
+//   1. The poll-fallback timeout is clamped to INT_MAX ms: a multi-week deadline used to
+//      overflow the static_cast<int> (3.6e9 ms → a negative int → an *infinite* poll where a
+//      bounded one was asked for).
+//   2. Cancelling the head deadline disarms/reprograms ITIMER_REAL: a create/cancel storm
+//      used to leave the interval timer programmed and fire stale SIGALRM ticks.
+//   3. sig::ExternalWakeupPossible runs on counters: handler-install churn and sigwait wake
+//      (and cancellation) cycles must leave the counters balanced, or deadlock detection
+//      either misfires or goes blind.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <climits>
+#include <csignal>
+
+#include "src/core/pthread.hpp"
+#include "src/hostos/unix_if.hpp"
+#include "src/io/io.hpp"
+
+namespace fsup {
+namespace {
+
+class IoRegressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    pt_reinit();
+  }
+};
+
+TEST_F(IoRegressTest, PollTimeoutClampsInsteadOfOverflowing) {
+  // A six-week deadline: 3.63e15 ns ≈ 3.63e9 ms, which does not fit in int. The seed's
+  // static_cast<int> produced a negative value — poll(2) treats that as "block forever".
+  const int64_t six_weeks_ns = int64_t{6} * 7 * 24 * 3600 * 1'000'000'000;
+  EXPECT_EQ(INT_MAX, io::ClampedPollTimeoutMs(six_weeks_ns));
+
+  // Round-up and floor behaviour around the edges.
+  EXPECT_EQ(0, io::ClampedPollTimeoutMs(0));
+  EXPECT_EQ(0, io::ClampedPollTimeoutMs(-1));
+  EXPECT_EQ(1, io::ClampedPollTimeoutMs(1));          // 1 ns still sleeps, never spins
+  EXPECT_EQ(1, io::ClampedPollTimeoutMs(1'000'000));  // exactly 1 ms
+  EXPECT_EQ(2, io::ClampedPollTimeoutMs(1'000'001));
+  EXPECT_EQ(INT_MAX, io::ClampedPollTimeoutMs(INT64_MAX));
+}
+
+pt_thread_t g_far_sleeper;
+
+void* FarFutureSleeper(void*) {
+  pt_delay(int64_t{6} * 7 * 24 * 3600 * 1'000'000'000);  // cancelled by the test
+  return nullptr;
+}
+
+int g_clamp_fd = -1;
+long g_clamp_n = 0;
+
+void* ClampReader(void*) {
+  char b;
+  g_clamp_n = pt_read(g_clamp_fd, &b, 1);
+  return nullptr;
+}
+
+TEST_F(IoRegressTest, PollBackendIdlesWithClampedTimeoutUnderFarFutureDeadline) {
+  ASSERT_EQ(0, ::setenv("FSUP_IO_BACKEND", "poll", 1));
+  pt_reinit();
+
+  int fds[2];
+  ASSERT_EQ(0, ::pipe(fds));
+  g_clamp_fd = fds[0];
+  g_clamp_n = 0;
+
+  // One thread sleeps six weeks out (the armed deadline the idle loop must budget for), one
+  // blocks on the pipe.
+  pt_thread_t reader;
+  ASSERT_EQ(0, pt_create(&g_far_sleeper, nullptr, &FarFutureSleeper, nullptr));
+  ASSERT_EQ(0, pt_create(&reader, nullptr, &ClampReader, nullptr));
+  pt_yield();  // both suspend
+
+  // Joining blocks main too, so the dispatcher idles in poll(2) with the six-week budget —
+  // the readable pipe wakes it immediately, but the *timeout it passed* is what we pin.
+  ASSERT_EQ(1, ::write(fds[1], "x", 1));
+  ASSERT_EQ(0, pt_join(reader, nullptr));
+  EXPECT_EQ(1, g_clamp_n);
+  EXPECT_EQ(INT_MAX, hostos::LastPollTimeoutMs());
+
+  ASSERT_EQ(0, pt_cancel(g_far_sleeper));
+  ASSERT_EQ(0, pt_join(g_far_sleeper, nullptr));
+  ::close(fds[0]);
+  ::close(fds[1]);
+  ASSERT_EQ(0, ::unsetenv("FSUP_IO_BACKEND"));
+  pt_reinit();
+}
+
+int g_sw_rc = 0;
+
+void* SigwaitWithTimeout(void* timeout_ns) {
+  int signo = 0;
+  g_sw_rc = pt_sigwait(SigBit(SIGUSR2), &signo,
+                       reinterpret_cast<intptr_t>(timeout_ns));
+  return nullptr;
+}
+
+TEST_F(IoRegressTest, CancellingHeadDeadlineReprogramsItimer) {
+  // One deterministic cycle: arming the 10 s sigwait timeout programs ITIMER_REAL (1), the
+  // signal arrives long before the deadline and the cancellation must now DISARM it (2). The
+  // seed stopped at (1) and left the shot live.
+  const uint64_t before = hostos::CallCount(hostos::Call::kSetitimer);
+  pt_thread_t t;
+  ASSERT_EQ(0, pt_create(&t, nullptr, &SigwaitWithTimeout,
+                         reinterpret_cast<void*>(intptr_t{10'000'000'000})));
+  pt_yield();  // the waiter blocks, timer armed
+  ASSERT_EQ(0, pt_kill(t, SIGUSR2));
+  ASSERT_EQ(0, pt_join(t, nullptr));
+  EXPECT_EQ(0, g_sw_rc);
+  EXPECT_EQ(before + 2, hostos::CallCount(hostos::Call::kSetitimer));
+}
+
+TEST_F(IoRegressTest, CancelStormFiresNoStaleSigalrmTicks) {
+  pt_metrics_enable(true);  // counts OnTimerTick invocations
+
+  // Storm: every iteration arms a 60 ms deadline and cancels it microseconds later.
+  constexpr int kIters = 30;
+  for (int i = 0; i < kIters; ++i) {
+    pt_thread_t t;
+    ASSERT_EQ(0, pt_create(&t, nullptr, &SigwaitWithTimeout,
+                           reinterpret_cast<void*>(intptr_t{60'000'000})));
+    pt_yield();
+    ASSERT_EQ(0, pt_kill(t, SIGUSR2));
+    ASSERT_EQ(0, pt_join(t, nullptr));
+    ASSERT_EQ(0, g_sw_rc);
+  }
+  const uint64_t ticks_after_storm = pt_metrics_snapshot().timer_ticks;
+
+  // Sit past every cancelled deadline. With the interval timer correctly disarmed nothing
+  // fires; the seed's leftover programming delivered a stale SIGALRM right about now.
+  ::usleep(150'000);
+  pt_yield();
+  EXPECT_EQ(ticks_after_storm, pt_metrics_snapshot().timer_ticks);
+  pt_metrics_enable(false);
+}
+
+pt_thread_t g_dl_t1;
+
+void* DlBlockForever(void*) {
+  static pt_sem_t sem;
+  pt_sem_init(&sem, 0);
+  pt_sem_wait(&sem);  // nobody posts
+  return nullptr;
+}
+
+void* DlJoinT1(void*) {
+  pt_join(g_dl_t1, nullptr);
+  return nullptr;
+}
+
+void RunDeadlockAfterChurn() {
+  // Handler churn: install/uninstall cycles must leave handlers_installed at zero...
+  for (int i = 0; i < 25; ++i) {
+    pt_sigaction(SIGUSR1, +[](int) {}, 0);
+    pt_sigaction(SIGUSR1, nullptr, 0);  // back to default disposition
+  }
+  // ...and sigwait wake + cancellation cycles must leave sigwait_blocked at zero. The
+  // cancellation path is the treacherous one: the fake call exits the thread without ever
+  // returning into the sigwait loop.
+  for (int i = 0; i < 5; ++i) {
+    pt_thread_t t;
+    pt_create(&t, nullptr, &SigwaitWithTimeout, reinterpret_cast<void*>(intptr_t{-1}));
+    pt_yield();
+    if (i % 2 == 0) {
+      pt_kill(t, SIGUSR2);
+    } else {
+      pt_cancel(t);
+    }
+    pt_join(t, nullptr);
+  }
+  // Counters balanced → ExternalWakeupPossible() is false → the full deadlock below must
+  // still be detected. A leaked count would leave the process idling forever instead.
+  pt_thread_t t2;
+  pt_create(&g_dl_t1, nullptr, &DlBlockForever, nullptr);
+  pt_create(&t2, nullptr, &DlJoinT1, nullptr);
+  pt_join(t2, nullptr);
+}
+
+TEST_F(IoRegressTest, DeadlockDetectionSurvivesHandlerAndSigwaitChurn) {
+  EXPECT_DEATH(RunDeadlockAfterChurn(), "DEADLOCK");
+}
+
+}  // namespace
+}  // namespace fsup
