@@ -2,6 +2,8 @@
 
 #include "src/debug/metrics.hpp"
 #include "src/kernel/kernel.hpp"
+#include "src/sync/cond.hpp"
+#include "src/sync/mutex.hpp"
 #include "src/util/log.hpp"
 
 namespace fsup::debug {
@@ -23,6 +25,16 @@ void DumpThreads() {
     if (t->state == ThreadState::kBlocked) {
       log::RawWriteCstr("/");
       log::RawWriteCstr(ToString(t->block_reason));
+      if (t->block_reason == BlockReason::kMutex && t->waiting_on_mutex != nullptr) {
+        log::RawWriteCstr(" mutex#");
+        log::RawWriteInt(t->waiting_on_mutex->tag);
+        if (t->cond_requeued) {
+          log::RawWriteCstr(" (requeued)");  // parked here by a broadcast, still in CondWait
+        }
+      } else if (t->block_reason == BlockReason::kCond && t->waiting_on_cond != nullptr) {
+        log::RawWriteCstr(" cond#");
+        log::RawWriteInt(t->waiting_on_cond->tag);
+      }
     }
     log::RawWriteCstr(" prio=");
     log::RawWriteInt(t->prio);
@@ -54,7 +66,9 @@ void DumpThreads() {
     }
     log::RawWriteCstr("\n");
   }
-  log::RawWriteCstr("  ctx_switches=");
+  log::RawWriteCstr("  ready=");
+  log::RawWriteInt(static_cast<int64_t>(k.ready.size()));
+  log::RawWriteCstr(" ctx_switches=");
   log::RawWriteInt(static_cast<int64_t>(k.ctx_switches));
   log::RawWriteCstr(" dispatches=");
   log::RawWriteInt(static_cast<int64_t>(k.dispatches));

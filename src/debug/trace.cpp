@@ -135,6 +135,8 @@ const char* Name(Event e) {
       return "fake-call";
     case Event::kTimerTick:
       return "timer-tick";
+    case Event::kCondRequeue:
+      return "cond-requeue";
   }
   return "?";
 }

@@ -38,6 +38,7 @@ enum class Event : uint8_t {
   kCancel,        // a = target thread id, b = 1 if acted on immediately
   kFakeCall,      // a = target thread id, b = signo (kSigCancel for cancellation)
   kTimerTick,     // a = current thread id, b = number of expired timer entries
+  kCondRequeue,   // a = waiters moved to the mutex queue, b = cond tag (broadcast)
 };
 
 struct Record {

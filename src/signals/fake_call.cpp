@@ -104,7 +104,9 @@ void InstallOnThread(Tcb* t, void (*tramp)(void*), FakeRec* rec) {
     return;
   }
   if (t->state == ThreadState::kBlocked) {
-    if (t->block_reason == BlockReason::kCond) {
+    if (t->block_reason == BlockReason::kCond || t->cond_requeued) {
+      // A broadcast may have requeued the thread onto the mutex's wait queue (it blocks with
+      // reason kMutex), but the logical wait being interrupted is still the conditional one.
       rec->reacquire_mutex = t->cond_mutex;
       t->cond_interrupted = true;
     }
@@ -144,6 +146,10 @@ void DetachFromWaitQueue(Tcb* t) {
     case BlockReason::kNone:
       break;  // not linked on any queue
   }
+  // Once off the queue the thread is no longer a requeued cond waiter: if it blocks on a
+  // mutex again (e.g. the fake-call wrapper reacquiring cond_mutex), that is an ordinary
+  // mutex wait and a further interruption must not schedule a second reacquisition.
+  t->cond_requeued = false;
 }
 
 void FakeCallUserHandler(Tcb* t, int signo, const VSigAction& action) {

@@ -6,22 +6,37 @@
 #include "src/cancel/cancel.hpp"
 #include "src/debug/trace.hpp"
 #include "src/kernel/kernel.hpp"
+#include "src/sched/policy.hpp"
 #include "src/signals/sigmodel.hpp"
+#include "src/sync/tag.hpp"
 #include "src/util/assert.hpp"
 
 namespace fsup::sync {
 namespace {
 
-uint32_t g_next_tag = 1;
+// Bookkeeping for one waiter moved from a condition queue onto mutex m's wait queue by a
+// broadcast. The thread stays suspended at its CondWait suspension point but blocks as an
+// ordinary mutex waiter: the wait-for-graph detector follows waiting_on_mutex, priority
+// changes reposition it in m's queue, and a direct unlock handoff can make it owner. The
+// cond_requeued flag preserves the logical conditional-wait identity for interruption and
+// cancellation; an armed timeout timer stays armed (expiry converts to a normal mutex-wake
+// that returns ETIMEDOUT after reacquisition).
+void MarkRequeued(Cond* c, Tcb* w, Mutex* m) {
+  ++c->signals_sent;
+  w->cond_signalled = true;  // the broadcast reached it; it returns once it re-holds m
+  w->waiting_on_cond = nullptr;
+  w->waiting_on_mutex = m;
+  w->block_reason = BlockReason::kMutex;
+  w->cond_requeued = true;
+}
 
-void InsertCondWaiterByPrio(Cond* c, Tcb* t) {
-  for (Tcb* w : c->waiters) {
-    if (w->prio < t->prio) {
-      c->waiters.InsertBefore(w, t);
-      return;
-    }
+// After waiters landed on an inheritance mutex's queue without passing through LockInKernel,
+// the owner must still inherit the top waiter priority (transitively).
+void BoostAfterRequeue(Mutex* m) {
+  if (m->proto == MutexProtocol::kInherit && m->lock_word != 0 && m->owner != nullptr &&
+      m->owner->prio < m->waiters.TopPrio()) {
+    sched::BoostChain(m->owner, m->waiters.TopPrio());
   }
-  c->waiters.PushBack(t);
 }
 
 }  // namespace
@@ -33,7 +48,7 @@ int CondInit(Cond* c) {
   }
   new (c) Cond();
   c->magic = kCondMagic;
-  c->tag = g_next_tag++;
+  c->tag = NextSyncTag();
   return 0;
 }
 
@@ -70,7 +85,7 @@ int CondWait(Cond* c, Mutex* m, int64_t deadline_ns) {
 
   // Atomic with the suspension: unlock (full protocol semantics, possible handoff) and queue.
   UnlockInKernel(m, self);
-  InsertCondWaiterByPrio(c, self);
+  c->waiters.Push(self);
   self->waiting_on_cond = c;
   self->cond_mutex = m;
   self->cond_signalled = false;
@@ -87,6 +102,8 @@ int CondWait(Cond* c, Mutex* m, int64_t deadline_ns) {
     sig::CancelBlockTimer(self);
   }
   self->waiting_on_cond = nullptr;
+  self->waiting_on_mutex = nullptr;  // set while a broadcast had us requeued on m's queue
+  self->cond_requeued = false;
 
   int rc = 0;
   bool relock = true;
@@ -102,7 +119,14 @@ int CondWait(Cond* c, Mutex* m, int64_t deadline_ns) {
   self->cond_mutex = nullptr;
 
   if (relock) {
-    const int lock_rc = LockInKernel(m, self);
+    int lock_rc;
+    if (m->holder() == self) {
+      // An unlocker handed the mutex directly to us while we sat requeued on its wait queue;
+      // only the protocol acquisition work remains.
+      lock_rc = CompleteHandoff(m, self);
+    } else {
+      lock_rc = LockInKernel(m, self);
+    }
     FSUP_CHECK_MSG(lock_rc == 0, "condwait relock failed");
   }
 
@@ -120,7 +144,7 @@ int CondSignal(Cond* c) {
     return EINVAL;
   }
   kernel::Enter();
-  Tcb* w = c->waiters.PopFront();  // priority-ordered: front is the highest priority
+  Tcb* w = c->waiters.PopHighest();  // longest-waiting thread of the highest priority
   debug::trace::Log(debug::trace::Event::kCondSignal, w != nullptr ? w->id : 0, c->tag);
   if (w != nullptr) {
     ++c->signals_sent;
@@ -138,21 +162,57 @@ int CondBroadcast(Cond* c) {
     return EINVAL;
   }
   kernel::Enter();
-  Tcb* w;
-  while ((w = c->waiters.PopFront()) != nullptr) {
-    debug::trace::Log(debug::trace::Event::kCondSignal, w->id, c->tag);
-    ++c->signals_sent;
-    w->cond_signalled = true;
-    sig::CancelBlockTimer(w);
-    kernel::MakeReady(w);
+
+  // Wake one: the highest-priority waiter contends for the mutex normally.
+  Tcb* first = c->waiters.PopHighest();
+  debug::trace::Log(debug::trace::Event::kCondSignal, first != nullptr ? first->id : 0,
+                    c->tag);
+  if (first == nullptr) {
+    kernel::Exit();
+    return 0;
   }
+  ++c->signals_sent;
+  first->cond_signalled = true;
+  sig::CancelBlockTimer(first);
+  kernel::MakeReady(first);
+
+  // Requeue the rest: every remaining waiter would wake only to re-block on its mutex, so
+  // move it there directly — no context switches, no thundering herd. The standard leaves
+  // concurrent waits through different mutexes undefined; we still handle them by requeueing
+  // each waiter onto its own recorded mutex (the uniform case moves whole priority levels
+  // with pointer splices).
+  if (!c->waiters.empty()) {
+    Mutex* target = nullptr;
+    bool uniform = true;
+    c->waiters.ForEach([&](Tcb* w) {
+      if (target == nullptr) {
+        target = w->cond_mutex;
+      } else if (w->cond_mutex != target) {
+        uniform = false;
+      }
+    });
+    const uint32_t moved = c->waiters.size();
+    if (uniform) {
+      c->waiters.SpliceAllOnto(target->waiters,
+                               [&](Tcb* w) { MarkRequeued(c, w, target); });
+      target->has_waiters = 1;
+      BoostAfterRequeue(target);
+    } else {
+      Tcb* w;
+      while ((w = c->waiters.PopHighest()) != nullptr) {
+        Mutex* m = w->cond_mutex;
+        MarkRequeued(c, w, m);
+        InsertWaiter(m, w);
+        BoostAfterRequeue(m);
+      }
+    }
+    debug::trace::Log(debug::trace::Event::kCondRequeue, moved, c->tag);
+  }
+
   kernel::Exit();
   return 0;
 }
 
-void RepositionCondWaiter(Cond* c, Tcb* t) {
-  c->waiters.Erase(t);
-  InsertCondWaiterByPrio(c, t);
-}
+void RepositionCondWaiter(Cond* c, Tcb* t) { c->waiters.Reposition(t); }
 
 }  // namespace fsup::sync

@@ -6,15 +6,24 @@
 // mutex *before* the user handler runs and the wait terminates with EINTR (draft-6 semantics,
 // exactly the behaviour the paper describes). Wakeups go to the highest-priority waiter.
 // Spurious wakeups are permitted by the standard; callers re-evaluate their predicate.
+//
+// Broadcast wakes only the highest-priority waiter and REQUEUES the rest directly onto the
+// mutex's wait queue (the futex-requeue discipline): since every broadcast waiter would
+// immediately re-block on the mutex anyway, moving them with pointer splices instead of
+// waking them avoids the O(waiters) thundering herd of context switches. Requeued waiters
+// block as ordinary mutex waiters (coherent for the wait-for-graph deadlock detector and
+// priority repositioning) but keep their conditional-wait identity (Tcb::cond_requeued):
+// armed timeout timers stay armed and convert to a normal ETIMEDOUT-after-reacquisition,
+// and fake-call interruption / cancellation still terminate the logical conditional wait.
 
 #ifndef FSUP_SRC_SYNC_COND_HPP_
 #define FSUP_SRC_SYNC_COND_HPP_
 
 #include <cstdint>
 
+#include "src/kernel/prio_queue.hpp"
 #include "src/kernel/tcb.hpp"
 #include "src/sync/mutex.hpp"
-#include "src/util/intrusive_list.hpp"
 
 namespace fsup {
 
@@ -23,7 +32,7 @@ inline constexpr uint32_t kCondMagic = 0x636f6e64;  // "cond"
 struct Cond {
   uint32_t magic = 0;
   uint32_t tag = 0;
-  IntrusiveList<Tcb, &Tcb::link> waiters;  // priority-ordered
+  PrioWaitQueue waiters;  // per-priority FIFO buckets; every operation O(1)
   uint64_t signals_sent = 0;
 };
 
@@ -38,9 +47,12 @@ int CondDestroy(Cond* c);
 int CondWait(Cond* c, Mutex* m, int64_t deadline_ns);
 
 int CondSignal(Cond* c);
+
+// Wakes the highest-priority waiter and requeues every other waiter onto its recorded mutex
+// (see the header comment). Zero waiters: no-op. One waiter: identical to CondSignal.
 int CondBroadcast(Cond* c);
 
-// Re-sorts t within c's waiter queue after t's priority changed. In kernel.
+// Re-buckets t within c's waiter queue after t's priority changed. O(1). In kernel.
 void RepositionCondWaiter(Cond* c, Tcb* t);
 
 }  // namespace sync

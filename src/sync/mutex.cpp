@@ -9,13 +9,12 @@
 #include "src/debug/trace.hpp"
 #include "src/kernel/kernel.hpp"
 #include "src/sched/policy.hpp"
+#include "src/sync/tag.hpp"
 #include "src/util/assert.hpp"
 #include "src/util/dual_loop_timer.hpp"
 
 namespace fsup::sync {
 namespace {
-
-uint32_t g_next_tag = 1;
 
 // True when the uncontended lock/unlock may bypass the kernel entirely. Protocol mutexes must
 // enter (they manipulate priorities); perverted mutex-switch needs the hook on every lock;
@@ -93,7 +92,7 @@ int MutexInit(Mutex* m, const MutexAttr* attr) {
   m->magic = kMutexMagic;
   m->proto = a.protocol;
   m->ceiling = static_cast<int16_t>(a.ceiling);
-  m->tag = g_next_tag++;
+  m->tag = NextSyncTag();
   return 0;
 }
 
@@ -111,21 +110,12 @@ int MutexDestroy(Mutex* m) {
   return 0;
 }
 
-void InsertWaiterByPrio(Mutex* m, Tcb* t) {
+void InsertWaiter(Mutex* m, Tcb* t) {
   m->has_waiters = 1;
-  for (Tcb* w : m->waiters) {
-    if (w->prio < t->prio) {
-      m->waiters.InsertBefore(w, t);
-      return;
-    }
-  }
-  m->waiters.PushBack(t);
+  m->waiters.Push(t);
 }
 
-void RepositionWaiter(Mutex* m, Tcb* t) {
-  m->waiters.Erase(t);
-  InsertWaiterByPrio(m, t);
-}
+void RepositionWaiter(Mutex* m, Tcb* t) { m->waiters.Reposition(t); }
 
 void RemoveWaiter(Mutex* m, Tcb* t) {
   m->waiters.Erase(t);
@@ -134,9 +124,12 @@ void RemoveWaiter(Mutex* m, Tcb* t) {
   }
 }
 
-int MaxWaiterPrio(const Mutex* m) {
-  Tcb* front = m->waiters.Front();
-  return front != nullptr ? front->prio : kMinPrio - 1;
+int MaxWaiterPrio(const Mutex* m) { return m->waiters.TopPrio(); }
+
+int CompleteHandoff(Mutex* m, Tcb* self) {
+  FSUP_ASSERT(kernel::InKernel());
+  FSUP_ASSERT(m->holder() == self);
+  return OnAcquired(m, self);
 }
 
 bool WouldDeadlock(const Mutex* m, const Tcb* self) {
@@ -150,11 +143,15 @@ bool WouldDeadlock(const Mutex* m, const Tcb* self) {
     if (owner == self) {
       return true;
     }
-    const Mutex* next = owner->waiting_on_mutex;
-    if (next == nullptr) {
+    // Follow the wait-for edge only while the owner is truly blocked on a mutex. A thread
+    // that received a direct handoff but has not run yet is READY with a stale
+    // waiting_on_mutex still naming the mutex it now owns — following it would spin on that
+    // one-node cycle for the whole hop budget on every contended lock.
+    if (owner->state != ThreadState::kBlocked ||
+        owner->block_reason != BlockReason::kMutex || owner->waiting_on_mutex == nullptr) {
       return false;  // the chain ends at a runnable (or differently blocked) thread
     }
-    owner = next->holder();
+    owner = owner->waiting_on_mutex->holder();
   }
   return false;
 }
@@ -190,7 +187,7 @@ int LockInKernel(Mutex* m, Tcb* self) {
         m->owner->prio < self->prio) {
       sched::BoostChain(m->owner, self->prio);
     }
-    InsertWaiterByPrio(m, self);
+    InsertWaiter(m, self);
     self->waiting_on_mutex = m;
     kernel::Suspend(BlockReason::kMutex);
     self->waiting_on_mutex = nullptr;
@@ -260,7 +257,7 @@ void UnlockInKernel(Mutex* m, Tcb* self) {
     }
   }
 
-  Tcb* next = m->waiters.PopFront();
+  Tcb* next = m->waiters.PopHighest();
   if (next == nullptr) {
     m->has_waiters = 0;
     m->owner = nullptr;
@@ -354,6 +351,7 @@ int MutexUnlock(Mutex* m) {
 }
 
 int MutexSetCeiling(Mutex* m, int ceiling, int* old_ceiling) {
+  kernel::EnsureInit();  // every public entry point initializes; Enter() relies on it
   if (m == nullptr || m->magic != kMutexMagic || m->proto != MutexProtocol::kProtect ||
       ceiling < kMinPrio || ceiling > kMaxPrio) {
     return EINVAL;

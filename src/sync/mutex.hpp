@@ -17,9 +17,9 @@
 
 #include <cstdint>
 
+#include "src/kernel/prio_queue.hpp"
 #include "src/kernel/tcb.hpp"
 #include "src/kernel/types.hpp"
-#include "src/util/intrusive_list.hpp"
 
 namespace fsup {
 
@@ -45,7 +45,7 @@ struct Mutex {
 
   bool locked() const { return lock_word != 0; }
   Tcb* holder() const { return lock_word != 0 ? owner : nullptr; }
-  IntrusiveList<Tcb, &Tcb::link> waiters;  // priority-ordered, FIFO within a priority
+  PrioWaitQueue waiters;  // per-priority FIFO buckets; every operation O(1)
 
   // Membership in the owner's held-mutex list: the inheritance protocol's unlock performs a
   // linear search over these (paper Table 3, "Implementation: linear search of locked
@@ -73,16 +73,27 @@ int MutexSetCeiling(Mutex* m, int ceiling, int* old_ceiling);
 // In-kernel halves, shared with condition variables, cancellation, and fake calls.
 int LockInKernel(Mutex* m, Tcb* self);      // may suspend; returns 0 or EDEADLK/EINVAL
 void UnlockInKernel(Mutex* m, Tcb* self);   // protocol actions + handoff
-void InsertWaiterByPrio(Mutex* m, Tcb* t);
 
-// Re-sorts t within m's waiter queue after t's priority changed (inheritance chains).
+// Enqueues t on m's wait queue (tail of its priority bucket), maintaining the has_waiters
+// mirror. O(1). In kernel.
+void InsertWaiter(Mutex* m, Tcb* t);
+
+// Re-buckets t within m's waiter queue after t's priority changed (inheritance chains).
+// O(1) per boost-chain link — the former sorted list re-scanned the queue on every link.
 void RepositionWaiter(Mutex* m, Tcb* t);
 
-// Removes t from m's waiter queue, maintaining the has_waiters mirror. In kernel.
+// Removes t from m's waiter queue, maintaining the has_waiters mirror. O(1). In kernel.
 void RemoveWaiter(Mutex* m, Tcb* t);
 
 // Highest priority among m's waiters, or kMinPrio - 1 when none (inheritance recompute).
+// O(1): reads the occupancy bitmap.
 int MaxWaiterPrio(const Mutex* m);
+
+// Completes an acquisition that arrived by direct handoff while the thread was suspended in
+// CondWait (a broadcast requeued it onto m, an unlock popped it and set it as owner): runs
+// the protocol acquisition work that LockInKernel's loop performs for ordinary waiters.
+// Returns 0 or EINVAL (ceiling violation). In kernel.
+int CompleteHandoff(Mutex* m, Tcb* self);
 
 // True if `self` blocking on `m` would close a cycle in the wait-for graph: follows the
 // owner → blocked-on-mutex → owner chain under the kernel monitor. Self-deadlock is the

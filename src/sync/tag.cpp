@@ -1,0 +1,12 @@
+#include "src/sync/tag.hpp"
+
+namespace fsup::sync {
+namespace {
+
+uint32_t g_next_tag = 1;
+
+}  // namespace
+
+uint32_t NextSyncTag() { return g_next_tag++; }
+
+}  // namespace fsup::sync

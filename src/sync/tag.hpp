@@ -1,0 +1,22 @@
+// Trace tags for synchronization objects.
+//
+// Mutexes and condition variables are identified in the trace ring (and the Chrome
+// trace_event export) by a small integer tag. The tags come from ONE process-wide counter so
+// a mutex and a condition variable can never share a value — separate per-type counters made
+// "mutex 1" and "cond 1" indistinguishable in an exported timeline. The counter is monotonic
+// across ReinitForTesting on purpose: objects created before and after a reinit stay
+// distinguishable in one trace.
+
+#ifndef FSUP_SRC_SYNC_TAG_HPP_
+#define FSUP_SRC_SYNC_TAG_HPP_
+
+#include <cstdint>
+
+namespace fsup::sync {
+
+// Returns the next unused tag (starting at 1; 0 means "untagged").
+uint32_t NextSyncTag();
+
+}  // namespace fsup::sync
+
+#endif  // FSUP_SRC_SYNC_TAG_HPP_

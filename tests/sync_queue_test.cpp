@@ -1,0 +1,397 @@
+// Wake ordering and broadcast-requeue semantics of the shared priority wait queues:
+// same-priority FIFO across mutex handoff, cond signal and broadcast-requeue; timeout,
+// signal interruption and cancellation of a waiter that a broadcast parked on the mutex's
+// wait queue; and the MutexSetCeiling-as-first-entry-point regression.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <csignal>
+#include <vector>
+
+#include "src/core/attr.hpp"
+#include "src/core/pthread.hpp"
+#include "src/debug/trace.hpp"
+
+namespace fsup {
+namespace {
+
+class SyncQueueTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pt_reinit();
+    debug::trace::Enable(false);
+  }
+};
+
+// Number of kCondRequeue records in the trace ring, and the waiter count of the last one.
+struct RequeueTrace {
+  int events = 0;
+  uint32_t last_moved = 0;
+};
+
+RequeueTrace ScanRequeues() {
+  RequeueTrace r;
+  std::vector<debug::trace::Record> buf(debug::trace::Capacity());
+  const size_t n = debug::trace::Snapshot(buf.data(), buf.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (buf[i].event == debug::trace::Event::kCondRequeue) {
+      ++r.events;
+      r.last_moved = buf[i].a;
+    }
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------------------
+// MutexSetCeiling must behave like every other public entry point (satellite regression).
+// ---------------------------------------------------------------------------------------
+
+TEST_F(SyncQueueTest, SetCeilingIsAFullEntryPointAfterReinit) {
+  // First synchronization calls after a teardown/reinit cycle: nothing here may rely on a
+  // previous entry point having initialized the runtime.
+  pt_mutexattr_t attr;
+  attr.protocol = MutexProtocol::kProtect;
+  attr.ceiling = kDefaultPrio;
+  pt_mutex_t m;
+  ASSERT_EQ(0, pt_mutex_init(&m, &attr));
+  int old = -1;
+  ASSERT_EQ(0, pt_mutex_setceiling(&m, kDefaultPrio + 3, &old));
+  EXPECT_EQ(kDefaultPrio, old);
+  // The new ceiling is live: locking raises the caller to it.
+  ASSERT_EQ(0, pt_mutex_lock(&m));
+  int prio = -1;
+  ASSERT_EQ(0, pt_getprio(pt_self(), &prio));
+  EXPECT_EQ(kDefaultPrio + 3, prio);
+  ASSERT_EQ(0, pt_mutex_unlock(&m));
+  ASSERT_EQ(0, pt_getprio(pt_self(), &prio));
+  EXPECT_EQ(kDefaultPrio, prio);
+  EXPECT_EQ(EINVAL, pt_mutex_setceiling(&m, kMaxPrio + 1, nullptr));
+  ASSERT_EQ(0, pt_mutex_destroy(&m));
+}
+
+// ---------------------------------------------------------------------------------------
+// Same-priority FIFO wake order.
+// ---------------------------------------------------------------------------------------
+
+struct OrderShared {
+  pt_mutex_t m;
+  pt_cond_t c;
+  bool flag = false;
+  std::vector<int> order;
+
+  void Init() {
+    ASSERT_EQ(0, pt_mutex_init(&m));
+    ASSERT_EQ(0, pt_cond_init(&c));
+  }
+  void Destroy() {
+    EXPECT_EQ(0, pt_cond_destroy(&c));
+    EXPECT_EQ(0, pt_mutex_destroy(&m));
+  }
+};
+
+struct OrderArg {
+  OrderShared* s;
+  int id;
+};
+
+void* LockAndRecord(void* ap) {
+  auto* a = static_cast<OrderArg*>(ap);
+  EXPECT_EQ(0, pt_mutex_lock(&a->s->m));
+  a->s->order.push_back(a->id);
+  EXPECT_EQ(0, pt_mutex_unlock(&a->s->m));
+  return nullptr;
+}
+
+void* WaitAndRecord(void* ap) {
+  auto* a = static_cast<OrderArg*>(ap);
+  EXPECT_EQ(0, pt_mutex_lock(&a->s->m));
+  while (!a->s->flag) {
+    EXPECT_EQ(0, pt_cond_wait(&a->s->c, &a->s->m));
+  }
+  a->s->order.push_back(a->id);
+  EXPECT_EQ(0, pt_mutex_unlock(&a->s->m));
+  return nullptr;
+}
+
+TEST_F(SyncQueueTest, MutexHandoffSamePrioIsFifo) {
+  OrderShared s;
+  s.Init();
+  ASSERT_EQ(0, pt_mutex_lock(&s.m));
+  constexpr int kN = 6;
+  std::vector<OrderArg> args;
+  for (int i = 0; i < kN; ++i) {
+    args.push_back({&s, i});
+  }
+  std::vector<pt_thread_t> ts(kN);
+  ThreadAttr a = MakeThreadAttr(kDefaultPrio + 1);
+  for (int i = 0; i < kN; ++i) {
+    // Higher priority: each thread preempts us at creation and blocks on the held mutex, so
+    // the wait queue holds them in creation order.
+    ASSERT_EQ(0, pt_create(&ts[i], &a, &LockAndRecord, &args[i]));
+  }
+  ASSERT_EQ(0, pt_mutex_unlock(&s.m));
+  for (auto& t : ts) {
+    ASSERT_EQ(0, pt_join(t, nullptr));
+  }
+  ASSERT_EQ(static_cast<size_t>(kN), s.order.size());
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(i, s.order[i]) << "handoff order not FIFO at position " << i;
+  }
+  s.Destroy();
+}
+
+TEST_F(SyncQueueTest, CondSignalSamePrioIsFifo) {
+  OrderShared s;
+  s.Init();
+  constexpr int kN = 5;
+  std::vector<OrderArg> args;
+  for (int i = 0; i < kN; ++i) {
+    args.push_back({&s, i});
+  }
+  std::vector<pt_thread_t> ts(kN);
+  ThreadAttr a = MakeThreadAttr(kDefaultPrio + 1);
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_EQ(0, pt_create(&ts[i], &a, &WaitAndRecord, &args[i]));  // blocks on the cond
+  }
+  ASSERT_EQ(0, pt_mutex_lock(&s.m));
+  s.flag = true;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_EQ(0, pt_cond_signal(&s.c));  // each wakeup re-contends the held mutex, FIFO
+  }
+  ASSERT_EQ(0, pt_mutex_unlock(&s.m));
+  for (auto& t : ts) {
+    ASSERT_EQ(0, pt_join(t, nullptr));
+  }
+  ASSERT_EQ(static_cast<size_t>(kN), s.order.size());
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(i, s.order[i]) << "signal order not FIFO at position " << i;
+  }
+  s.Destroy();
+}
+
+TEST_F(SyncQueueTest, BroadcastWakesByPriorityAndRequeuesFifo) {
+  // One high-priority waiter plus four equal-priority ones. The broadcast wakes only the
+  // high one; the rest move to the mutex queue without running and acquire in their original
+  // FIFO order behind it.
+  OrderShared s;
+  s.Init();
+  debug::trace::Enable(true);
+  debug::trace::Clear();
+  constexpr int kN = 4;
+  OrderArg hi_arg{&s, 100};
+  std::vector<OrderArg> args;
+  for (int i = 0; i < kN; ++i) {
+    args.push_back({&s, i});
+  }
+  ThreadAttr a_hi = MakeThreadAttr(kDefaultPrio + 2);
+  ThreadAttr a_lo = MakeThreadAttr(kDefaultPrio + 1);
+  pt_thread_t t_hi;
+  std::vector<pt_thread_t> ts(kN);
+  ASSERT_EQ(0, pt_create(&t_hi, &a_hi, &WaitAndRecord, &hi_arg));
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_EQ(0, pt_create(&ts[i], &a_lo, &WaitAndRecord, &args[i]));
+  }
+  ASSERT_EQ(0, pt_mutex_lock(&s.m));
+  s.flag = true;
+  ASSERT_EQ(0, pt_cond_broadcast(&s.c));
+  ASSERT_EQ(0, pt_mutex_unlock(&s.m));
+  ASSERT_EQ(0, pt_join(t_hi, nullptr));
+  for (auto& t : ts) {
+    ASSERT_EQ(0, pt_join(t, nullptr));
+  }
+  const RequeueTrace rq = ScanRequeues();
+  debug::trace::Enable(false);
+  ASSERT_EQ(static_cast<size_t>(kN + 1), s.order.size());
+  EXPECT_EQ(100, s.order[0]);  // the one woken thread: highest priority
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(i, s.order[i + 1]) << "requeued waiters lost FIFO order at position " << i;
+  }
+  EXPECT_EQ(1, rq.events);  // the broadcast requeued instead of waking the herd
+  EXPECT_EQ(static_cast<uint32_t>(kN), rq.last_moved);
+  s.Destroy();
+}
+
+TEST_F(SyncQueueTest, BroadcastWithZeroOrOneWaitersDoesNotRequeue) {
+  OrderShared s;
+  s.Init();
+  debug::trace::Enable(true);
+  debug::trace::Clear();
+  ASSERT_EQ(0, pt_cond_broadcast(&s.c));  // zero waiters: no-op
+  OrderArg a1{&s, 1};
+  pt_thread_t t;
+  ThreadAttr a = MakeThreadAttr(kDefaultPrio + 1);
+  ASSERT_EQ(0, pt_create(&t, &a, &WaitAndRecord, &a1));
+  ASSERT_EQ(0, pt_mutex_lock(&s.m));
+  s.flag = true;
+  ASSERT_EQ(0, pt_cond_broadcast(&s.c));  // one waiter: equivalent to signal
+  ASSERT_EQ(0, pt_mutex_unlock(&s.m));
+  ASSERT_EQ(0, pt_join(t, nullptr));
+  const RequeueTrace rq = ScanRequeues();
+  debug::trace::Enable(false);
+  EXPECT_EQ(0, rq.events);
+  ASSERT_EQ(1u, s.order.size());
+  s.Destroy();
+}
+
+TEST_F(SyncQueueTest, SetprioRepositionsABlockedMutexWaiter) {
+  // Two waiters block at different priorities; raising the lower one above the other while
+  // it is blocked must re-bucket it so it wins the next handoff.
+  OrderShared s;
+  s.Init();
+  ASSERT_EQ(0, pt_mutex_lock(&s.m));
+  OrderArg a_lo{&s, 1};
+  OrderArg a_hi{&s, 2};
+  pt_thread_t t_lo, t_hi;
+  ThreadAttr at_lo = MakeThreadAttr(kDefaultPrio + 1);
+  ThreadAttr at_hi = MakeThreadAttr(kDefaultPrio + 2);
+  ASSERT_EQ(0, pt_create(&t_lo, &at_lo, &LockAndRecord, &a_lo));
+  ASSERT_EQ(0, pt_create(&t_hi, &at_hi, &LockAndRecord, &a_hi));
+  ASSERT_EQ(0, pt_setprio(t_lo, kDefaultPrio + 3));  // now above t_hi, while blocked
+  ASSERT_EQ(0, pt_mutex_unlock(&s.m));
+  ASSERT_EQ(0, pt_join(t_lo, nullptr));
+  ASSERT_EQ(0, pt_join(t_hi, nullptr));
+  ASSERT_EQ(2u, s.order.size());
+  EXPECT_EQ(1, s.order[0]);  // the boosted thread acquired first
+  EXPECT_EQ(2, s.order[1]);
+  s.Destroy();
+}
+
+// ---------------------------------------------------------------------------------------
+// Requeued waiters: timeout, signal interruption, cancellation.
+// ---------------------------------------------------------------------------------------
+
+struct RequeueShared {
+  pt_mutex_t m;
+  pt_cond_t c;
+  bool flag = false;
+  bool hi_woke = false;
+  int rc = -1;
+  bool held_at_return = false;
+
+  void Init() {
+    ASSERT_EQ(0, pt_mutex_init(&m));
+    ASSERT_EQ(0, pt_cond_init(&c));
+  }
+  void Destroy() {
+    EXPECT_EQ(0, pt_cond_destroy(&c));
+    EXPECT_EQ(0, pt_mutex_destroy(&m));
+  }
+};
+
+// High-priority waiter: absorbs the broadcast's wake-one slot so the thread under test is
+// always among the requeued.
+void* HiWaiter(void* ap) {
+  auto* s = static_cast<RequeueShared*>(ap);
+  EXPECT_EQ(0, pt_mutex_lock(&s->m));
+  while (!s->flag) {
+    EXPECT_EQ(0, pt_cond_wait(&s->c, &s->m));
+  }
+  s->hi_woke = true;
+  EXPECT_EQ(0, pt_mutex_unlock(&s->m));
+  return nullptr;
+}
+
+TEST_F(SyncQueueTest, RequeuedTimedWaiterTimesOutWithMutexHeld) {
+  RequeueShared s;
+  s.Init();
+  auto timed_body = +[](void* ap) -> void* {
+    auto* s = static_cast<RequeueShared*>(ap);
+    EXPECT_EQ(0, pt_mutex_lock(&s->m));
+    s->rc = pt_cond_timedwait(&s->c, &s->m, 30 * 1000 * 1000);  // 30ms
+    s->held_at_return = s->m.holder() == pt_self();
+    EXPECT_EQ(0, pt_mutex_unlock(&s->m));
+    return nullptr;
+  };
+  pt_thread_t t_timed, t_hi;
+  ThreadAttr a_lo = MakeThreadAttr(kDefaultPrio + 1);
+  ThreadAttr a_hi = MakeThreadAttr(kDefaultPrio + 2);
+  ASSERT_EQ(0, pt_create(&t_timed, &a_lo, timed_body, &s));
+  ASSERT_EQ(0, pt_create(&t_hi, &a_hi, &HiWaiter, &s));
+  ASSERT_EQ(0, pt_mutex_lock(&s.m));
+  s.flag = true;
+  ASSERT_EQ(0, pt_cond_broadcast(&s.c));  // wakes t_hi, requeues t_timed with timer armed
+  // Hold the mutex past the timeout: the requeued waiter's block timer must fire on the
+  // mutex queue and convert the wait into ETIMEDOUT-after-reacquisition.
+  EXPECT_EQ(0, pt_delay(120 * 1000 * 1000));
+  ASSERT_EQ(0, pt_mutex_unlock(&s.m));
+  ASSERT_EQ(0, pt_join(t_timed, nullptr));
+  ASSERT_EQ(0, pt_join(t_hi, nullptr));
+  EXPECT_EQ(ETIMEDOUT, s.rc);
+  EXPECT_TRUE(s.held_at_return);
+  EXPECT_TRUE(s.hi_woke);
+  s.Destroy();
+}
+
+bool g_usr1_ran = false;
+void Usr1Handler(int) { g_usr1_ran = true; }
+
+TEST_F(SyncQueueTest, RequeuedWaiterInterruptedBySignalReturnsEintr) {
+  RequeueShared s;
+  s.Init();
+  g_usr1_ran = false;
+  ASSERT_EQ(0, pt_sigaction(SIGUSR1, &Usr1Handler, 0));
+  auto wait_body = +[](void* ap) -> void* {
+    auto* s = static_cast<RequeueShared*>(ap);
+    EXPECT_EQ(0, pt_mutex_lock(&s->m));
+    s->rc = pt_cond_wait(&s->c, &s->m);
+    s->held_at_return = s->m.holder() == pt_self();
+    EXPECT_EQ(0, pt_mutex_unlock(&s->m));
+    return nullptr;
+  };
+  pt_thread_t t_victim, t_hi;
+  ThreadAttr a_lo = MakeThreadAttr(kDefaultPrio + 1);
+  ThreadAttr a_hi = MakeThreadAttr(kDefaultPrio + 2);
+  ASSERT_EQ(0, pt_create(&t_victim, &a_lo, wait_body, &s));
+  ASSERT_EQ(0, pt_create(&t_hi, &a_hi, &HiWaiter, &s));
+  ASSERT_EQ(0, pt_mutex_lock(&s.m));
+  s.flag = true;
+  ASSERT_EQ(0, pt_cond_broadcast(&s.c));  // t_victim is now parked on the mutex queue
+  ASSERT_EQ(0, pt_kill(t_victim, SIGUSR1));
+  ASSERT_EQ(0, pt_mutex_unlock(&s.m));
+  ASSERT_EQ(0, pt_join(t_victim, nullptr));
+  ASSERT_EQ(0, pt_join(t_hi, nullptr));
+  // Draft-6 semantics survive the requeue: the handler ran, the wrapper re-acquired the
+  // mutex before it, and the conditional wait terminated with EINTR holding the mutex.
+  EXPECT_TRUE(g_usr1_ran);
+  EXPECT_EQ(EINTR, s.rc);
+  EXPECT_TRUE(s.held_at_return);
+  ASSERT_EQ(0, pt_sigaction(SIGUSR1, nullptr, 0));
+  s.Destroy();
+}
+
+TEST_F(SyncQueueTest, RequeuedWaiterCancellationRunsCleanupWithMutexHeld) {
+  RequeueShared s;
+  s.Init();
+  auto cancel_body = +[](void* ap) -> void* {
+    auto* s = static_cast<RequeueShared*>(ap);
+    EXPECT_EQ(0, pt_mutex_lock(&s->m));
+    pt_cleanup_push(+[](void* mp) { pt_mutex_unlock(static_cast<pt_mutex_t*>(mp)); }, &s->m);
+    while (!s->flag || true) {  // cancelled inside the wait; never exits normally
+      pt_cond_wait(&s->c, &s->m);
+    }
+    pt_cleanup_pop(true);
+    return nullptr;
+  };
+  pt_thread_t t_victim, t_hi;
+  ThreadAttr a_lo = MakeThreadAttr(kDefaultPrio + 1);
+  ThreadAttr a_hi = MakeThreadAttr(kDefaultPrio + 2);
+  ASSERT_EQ(0, pt_create(&t_victim, &a_lo, cancel_body, &s));
+  ASSERT_EQ(0, pt_create(&t_hi, &a_hi, &HiWaiter, &s));
+  ASSERT_EQ(0, pt_mutex_lock(&s.m));
+  s.flag = true;
+  ASSERT_EQ(0, pt_cond_broadcast(&s.c));  // t_victim requeued onto the mutex
+  ASSERT_EQ(0, pt_cancel(t_victim));
+  ASSERT_EQ(0, pt_mutex_unlock(&s.m));
+  void* ret = nullptr;
+  ASSERT_EQ(0, pt_join(t_victim, &ret));
+  ASSERT_EQ(0, pt_join(t_hi, nullptr));
+  EXPECT_EQ(kCanceled, ret);
+  // The cleanup handler unlocked: the mutex must be free again.
+  EXPECT_EQ(0, pt_mutex_trylock(&s.m));
+  EXPECT_EQ(0, pt_mutex_unlock(&s.m));
+  s.Destroy();
+}
+
+}  // namespace
+}  // namespace fsup

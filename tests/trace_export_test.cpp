@@ -296,6 +296,31 @@ class TraceExportTest : public ::testing::Test {
   void TearDown() override { debug::trace::Enable(false); }
 };
 
+TEST_F(TraceExportTest, MutexAndCondTagsNeverCollide) {
+  // Tags come from one process-wide counter (sync/tag.hpp): a mutex and a condition variable
+  // must never share one, or their timelines merge in the exported trace. Interleave the two
+  // kinds to exercise the counter from both init paths.
+  std::vector<uint32_t> tags;
+  pt_mutex_t ms[4];
+  pt_cond_t cs[4];
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(0, pt_mutex_init(&ms[i]));
+    tags.push_back(ms[i].tag);
+    ASSERT_EQ(0, pt_cond_init(&cs[i]));
+    tags.push_back(cs[i].tag);
+  }
+  for (size_t i = 0; i < tags.size(); ++i) {
+    EXPECT_NE(0u, tags[i]);  // 0 means "untagged"
+    for (size_t j = i + 1; j < tags.size(); ++j) {
+      EXPECT_NE(tags[i], tags[j]) << "tag collision between objects " << i << " and " << j;
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(0, pt_mutex_destroy(&ms[i]));
+    EXPECT_EQ(0, pt_cond_destroy(&cs[i]));
+  }
+}
+
 TEST_F(TraceExportTest, DumpRejectsBadPaths) {
   EXPECT_EQ(EINVAL, pt_trace_dump(nullptr));
   EXPECT_EQ(EINVAL, pt_trace_dump(""));
