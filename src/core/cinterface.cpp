@@ -4,6 +4,7 @@
 #include <new>
 
 #include "src/core/pthread.hpp"
+#include "src/debug/replay.hpp"
 
 namespace {
 
@@ -171,5 +172,24 @@ void fsup_metrics_enable(int on) { fsup::pt_metrics_enable(on != 0); }
 int fsup_metrics_dump(int fd) { return fsup::pt_metrics_dump(fd); }
 int fsup_trace_dump(const char* path) { return fsup::pt_trace_dump(path); }
 void fsup_trace_user(uint32_t a, uint32_t b) { fsup::pt_trace_user(a, b); }
+
+void fsup_replay_record_start(void) {
+  fsup::pt_init();
+  fsup::debug::replay::StartRecording();
+}
+
+int fsup_replay_record_save(const char* path) {
+  fsup::debug::replay::StopRecording();
+  return fsup::debug::replay::SaveLog(path);
+}
+
+int fsup_replay_start(const char* path) {
+  fsup::pt_init();
+  return fsup::debug::replay::StartReplay(path);
+}
+
+void fsup_replay_stop(void) { fsup::debug::replay::StopReplay(); }
+
+uint64_t fsup_replay_decisions(void) { return fsup::debug::replay::DecisionCount(); }
 
 }  // extern "C"

@@ -91,6 +91,18 @@ int fsup_metrics_dump(int fd);
 int fsup_trace_dump(const char* path);
 void fsup_trace_user(uint32_t a, uint32_t b);
 
+/* Deterministic record/replay of scheduling decisions (also driven by the FSUP_RECORD and
+ * FSUP_REPLAY environment variables; see DESIGN.md "Determinism and replay"). A recorded
+ * schedule saved with fsup_replay_record_save can be re-executed bit-exactly by launching
+ * with FSUP_REPLAY=<path> or calling fsup_replay_start; a divergence aborts with the first
+ * mismatched decision. fsup_replay_decisions returns the logical decision counter, which
+ * advances in every mode and stamps each trace-ring record. */
+void fsup_replay_record_start(void);
+int fsup_replay_record_save(const char* path); /* stops recording; 0 or errno */
+int fsup_replay_start(const char* path);       /* enters replay mode; 0 or errno */
+void fsup_replay_stop(void);
+uint64_t fsup_replay_decisions(void);
+
 #ifdef __cplusplus
 }
 #endif

@@ -1,0 +1,125 @@
+#include "src/debug/explore.hpp"
+
+#include <vector>
+
+#include "src/debug/replay.hpp"
+
+namespace fsup::debug::explore {
+namespace {
+
+// Runs the subject once under the currently-armed perturbation, recording so the fired
+// ordinals can be lifted out of the log afterwards. Returns true if the subject passed.
+bool RunOnce(TestFn fn, void* arg, Result* res, std::vector<uint64_t>* fired) {
+  replay::StartRecording();
+  const bool passed = fn(arg);
+  const size_t n = replay::StopRecording();
+  ++res->runs;
+  if (fired != nullptr) {
+    fired->clear();
+    std::vector<replay::LogRecord> log(n);
+    replay::CopyLog(log.data(), log.size());
+    for (const replay::LogRecord& r : log) {
+      if (r.kind == replay::Decision::kForced) {
+        fired->push_back(r.a);
+      }
+    }
+  }
+  return passed;
+}
+
+bool RunWithPoints(TestFn fn, void* arg, Result* res, const std::vector<uint64_t>& pts) {
+  replay::SetPerturbPoints(pts.data(), pts.size());
+  return RunOnce(fn, arg, res, nullptr);
+}
+
+void Report(Result* res, const std::vector<uint64_t>& pts) {
+  res->npoints = pts.size() < kMaxPoints ? pts.size() : kMaxPoints;
+  for (size_t i = 0; i < res->npoints; ++i) {
+    res->points[i] = pts[i];
+  }
+}
+
+// Minimizes a reproducing point set: singles first (a one-point repro is the common case for
+// a lost-update window and ends the search immediately), then greedy deletion.
+void Shrink(TestFn fn, void* arg, const Options& opt, Result* res,
+            std::vector<uint64_t> pts) {
+  uint32_t budget = opt.max_shrink_runs;
+  const uint32_t runs_before = res->runs;
+
+  if (pts.size() > 1) {
+    for (uint64_t p : pts) {
+      if (budget == 0) {
+        break;
+      }
+      --budget;
+      if (!RunWithPoints(fn, arg, res, {p})) {
+        res->shrink_runs = res->runs - runs_before;
+        Report(res, {p});
+        return;
+      }
+    }
+  }
+
+  for (size_t i = 0; i < pts.size() && pts.size() > 1;) {
+    if (budget == 0) {
+      break;
+    }
+    --budget;
+    std::vector<uint64_t> without(pts);
+    without.erase(without.begin() + static_cast<long>(i));
+    if (!RunWithPoints(fn, arg, res, without)) {
+      pts = std::move(without);  // the deleted point was not needed; retry the same index
+    } else {
+      ++i;  // needed, keep it
+    }
+  }
+
+  res->shrink_runs = res->runs - runs_before;
+  Report(res, pts);
+}
+
+}  // namespace
+
+Result Run(TestFn fn, void* arg, const Options& opt) {
+  Result res;
+  std::vector<uint64_t> fired;
+
+  if (opt.systematic) {
+    for (uint64_t ord = 0; ord < opt.window; ++ord) {
+      if (!RunWithPoints(fn, arg, &res, {ord})) {
+        res.failure_found = true;
+        res.reproducible = true;
+        Report(&res, {ord});  // a single forced switch is already minimal
+        replay::ClearPerturb();
+        return res;
+      }
+    }
+  }
+
+  if (opt.random) {
+    for (uint32_t i = 0; i < opt.seeds; ++i) {
+      const uint64_t seed = opt.seed0 + i;
+      replay::SetPerturbRandom(seed, opt.permille);
+      if (RunOnce(fn, arg, &res, &fired)) {
+        continue;
+      }
+      res.failure_found = true;
+      res.seed = seed;
+      // Re-verify as an explicit point set: firing is a pure function of (seed, ordinal), so
+      // this reproduces unless the point list overflowed its capacity.
+      if (fired.size() <= kMaxPoints && !RunWithPoints(fn, arg, &res, fired)) {
+        res.reproducible = true;
+        Shrink(fn, arg, opt, &res, fired);
+      } else {
+        Report(&res, fired);  // unshrunk: rerun with the seed to reproduce
+      }
+      replay::ClearPerturb();
+      return res;
+    }
+  }
+
+  replay::ClearPerturb();
+  return res;
+}
+
+}  // namespace fsup::debug::explore

@@ -143,8 +143,9 @@ int TraceDumpJson(const char* path) {
     sep();
     std::fprintf(f,
                  "{\"ph\":\"i\",\"pid\":%ld,\"tid\":%u,\"ts\":%.3f,\"name\":\"%s\","
-                 "\"cat\":\"fsup\",\"s\":\"t\",\"args\":{\"a\":%u,\"b\":%u}}",
-                 pid, r.tid, ToUs(r.t_ns, t0), trace::Name(r.event), r.a, r.b);
+                 "\"cat\":\"fsup\",\"s\":\"t\",\"args\":{\"a\":%u,\"b\":%u,\"d\":%llu}}",
+                 pid, r.tid, ToUs(r.t_ns, t0), trace::Name(r.event), r.a, r.b,
+                 static_cast<unsigned long long>(r.d));
   }
   for (const auto& [tid, is_open] : open) {
     if (is_open) {

@@ -1,0 +1,182 @@
+// Deterministic record/replay of scheduling decisions, plus schedule perturbation.
+//
+// The library owns every scheduling decision of the process (the uniprocessor monitor), so an
+// execution is fully determined by the *sequence of nondeterministic decisions* the kernel
+// takes: which thread the dispatcher switches to, when a preemption tick fires and how many
+// timers it expires, which fault rule injects an error, which fds the idle poll reports ready,
+// which way the perverted-random coin lands, and where the exploration driver forces a switch.
+// This module serializes exactly that sequence.
+//
+//   record  (FSUP_RECORD=<path>)  — every decision is appended to an in-memory log, written to
+//                                   <path> at process exit (or via SaveLog).
+//   replay  (FSUP_REPLAY=<path>)  — the log *steers* the sources of nondeterminism (ticks,
+//                                   poll outcomes, fault rules, rng draws are taken from the
+//                                   log, the physical interval timer is suppressed) and
+//                                   *verifies* the derived decisions (context switches). Any
+//                                   mismatch is a divergence: the first mismatched decision
+//                                   and the tail of the trace ring are dumped, then abort.
+//
+// A replayed run of a data-race-free program reproduces the recorded trace ring bit-exactly
+// (same events, operands and decision indices; wall-clock timestamps differ — replay does not
+// sleep). See DESIGN.md "Determinism and replay" for what counts as a decision and why this
+// is sufficient.
+//
+// The logical decision counter runs in EVERY mode (off included) and stamps each trace-ring
+// record, giving traces a timestamp that two runs can be compared on.
+
+#ifndef FSUP_SRC_DEBUG_REPLAY_HPP_
+#define FSUP_SRC_DEBUG_REPLAY_HPP_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fsup::debug::replay {
+
+enum class Mode : uint8_t { kOff = 0, kRecord = 1, kReplay = 2 };
+
+// One logged decision. The kinds marked "steered" are *forced* onto a replayed run; the kinds
+// marked "verified" are recomputed by the replayed run and checked against the log.
+enum class Decision : uint8_t {
+  kSwitch = 0,  // verified: a = from thread id, b = to thread id
+  kTick,        // steered:  a = expired timer entries, b = slice fired (0/1)
+  kExtSignal,   // steered:  a = signo delivered to the process from outside
+  kIoWake,      // steered:  a = woken thread id, b = delivered readiness mask
+  kIoDone,      // steered:  a = wakeups in this idle poll pass (terminates the pass)
+  kFault,       // steered:  a = hostos::Call ordinal, b = injected errno
+  kRngCoin,     // steered:  a = perverted-random coin (0/1)
+  kRngPick,     // steered:  a = random-pick index into the ready queue
+  kForced,      // steered:  a = exploration gate ordinal of a forced switch
+};
+
+struct LogRecord {
+  uint32_t a;
+  uint32_t b;
+  Decision kind;
+};
+
+// -- hot-path state (extern so the kernel's inline Enter and the trace ring can read it
+// without a function call; written only by this module) ---------------------------------
+extern uint8_t g_mode;             // Mode as a raw byte
+extern uint64_t g_decisions;       // logical decision counter, advances in every mode
+extern volatile bool g_gate_pending;  // replay only: next log record is an async event
+extern bool g_exit_hook;           // kernel::Exit must call OnKernelExitGate
+
+inline Mode CurrentMode() { return static_cast<Mode>(g_mode); }
+inline bool Replaying() { return g_mode == static_cast<uint8_t>(Mode::kReplay); }
+inline uint64_t DecisionCount() { return g_decisions; }
+
+// -- control ------------------------------------------------------------------------------
+
+// Starts recording into the in-memory log (resets it, and the decision counter). A full log
+// stops recording silently and marks the log truncated; a replay of a truncated log falls
+// back to live execution when it runs off the end.
+void StartRecording();
+
+// Stops recording; the log stays in memory for SaveLog/CopyLog. Returns the record count.
+size_t StopRecording();
+
+bool Recording();
+size_t LogSize();
+bool LogTruncated();
+
+// Writes the in-memory log to path. Returns 0 or an errno value.
+int SaveLog(const char* path);
+
+// Loads path and enters replay mode: the physical interval timer is disarmed (the log carries
+// every tick) and the decision counter resets. Returns 0 or an errno value (EINVAL: bad
+// magic, version or corrupt header). The runtime must be initialized and idle.
+int StartReplay(const char* path);
+
+// Leaves replay mode and re-arms the interval timer from the live timer heap.
+void StopReplay();
+
+// Reads a log file into out (pass nullptr to only query the record count). Used by the
+// exploration tool to lift the forced-switch ordinals out of a failing run's recording.
+int ReadLogFile(const char* path, LogRecord* out, size_t max, size_t* count);
+
+// Copies the in-memory log (oldest first), returns the number copied.
+size_t CopyLog(LogRecord* out, size_t max);
+
+// Arms FSUP_RECORD / FSUP_REPLAY / FSUP_EXPLORE_* from the environment (idempotent; called
+// from kernel::EnsureInit so a recorded trajectory starts at the first decision).
+void InitFromEnv();
+
+// -- schedule perturbation (the exploration driver's lever) -------------------------------
+//
+// A perturbation gate sits at every kernel::Exit. Gates are numbered by an ordinal counter
+// (reset per run); at a firing gate the running thread is demoted below every other ready
+// thread, exactly like the perverted round-robin policy. Fired gates are recorded as kForced
+// decisions, so a recorded exploration run replays — and shrinks — exactly.
+
+// Fire at gate ordinals selected by hash(seed, ordinal) % 1000 < permille.
+void SetPerturbRandom(uint64_t seed, uint32_t permille);
+
+// Fire at exactly these gate ordinals (at most 64 are kept).
+void SetPerturbPoints(const uint64_t* points, size_t n);
+
+void ClearPerturb();
+void ResetPerturbOrdinal();  // start of a fresh exploration run
+uint64_t PerturbOrdinal();
+uint64_t ForcedFired();  // forced switches fired since the ordinal was last reset
+
+// -- hooks (called by the kernel; off mode just advances the decision counter) ------------
+
+void OnSwitchSlow(uint32_t from, uint32_t to);
+inline void OnSwitch(uint32_t from, uint32_t to) {
+  if (g_mode != 0) {
+    OnSwitchSlow(from, to);
+  } else {
+    ++g_decisions;
+  }
+}
+
+// Timer ticks patch their payload in after the expiry loop ran: BeginTick reserves the
+// decision slot (so records logged *during* the tick stamp after it), EndTick fills it.
+size_t BeginTick();
+void EndTick(size_t slot, uint32_t expired, bool slice_fired);
+
+// An external (asynchronous process-level) signal reached the delivery model.
+void OnExtSignal(int signo);
+
+// The idle poll woke tid with the given readiness mask / finished a pass with `woke` wakeups.
+void OnIoWakeSlow(uint32_t tid, uint32_t mask);
+inline void OnIoWake(uint32_t tid, uint32_t mask) {
+  if (g_mode != 0) {
+    OnIoWakeSlow(tid, mask);
+  } else {
+    ++g_decisions;
+  }
+}
+void OnIoDone(uint32_t woke);
+
+// A fault rule fired for `call` injecting `err` (record path; replay steers via ReplayFault).
+void OnFault(uint32_t call, uint32_t err);
+
+// Replay-side steering. ReplayFault returns the errno to inject at this call (0 = none).
+int ReplayFault(uint32_t call);
+bool ReplayRngCoin();
+uint64_t ReplayRngPick();
+void OnRngCoin(bool value);
+void OnRngPick(uint64_t value);
+
+// Replays the next idle-poll outcome: consumes kIoWake/kFault records up to the pass's
+// kIoDone terminator, waking the logged threads. Called from io::PollOnce in replay mode.
+void ReplayIdleIo();
+
+// Dispatcher-loop gate: if the next log record is an async event that the recorded run took
+// inside the dispatcher (a deferred tick or external signal), fire it now. Returns true if
+// something fired (the caller restarts its selection loop).
+bool GateInDispatcher();
+
+// Pre-kernel gate (called by kernel::Enter when g_gate_pending): mirrors the universal
+// handler's out-of-kernel path — enter, fire the async event, dispatch.
+void RunGate();
+
+// kernel::Exit gate: applies/records exploration forced switches; consumes kForced records.
+void OnKernelExitGate();
+
+const char* DecisionName(Decision d);
+
+}  // namespace fsup::debug::replay
+
+#endif  // FSUP_SRC_DEBUG_REPLAY_HPP_

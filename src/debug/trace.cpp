@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "src/debug/replay.hpp"
 #include "src/kernel/kernel.hpp"
 #include "src/util/dual_loop_timer.hpp"
 
@@ -49,7 +50,7 @@ void Log(Event e, uint32_t a, uint32_t b) {
   // A signal handler interrupting us between the reservation and the commit logs into later
   // slots; our slot commits when we resume. Readers see reserved != committed meanwhile.
   const uint64_t seq = g_reserved.fetch_add(1, std::memory_order_relaxed);
-  g_ring[seq % kCapacity] = Record{NowNs(), tid, a, b, e};
+  g_ring[seq % kCapacity] = Record{NowNs(), replay::DecisionCount(), tid, a, b, e};
   g_committed.fetch_add(1, std::memory_order_release);
 }
 

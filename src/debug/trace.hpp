@@ -43,6 +43,8 @@ enum class Event : uint8_t {
 
 struct Record {
   int64_t t_ns;
+  uint64_t d;    // logical decision counter at logging time (debug/replay.hpp) — a logical
+                 // clock two runs can be compared on, unlike the wall-clock t_ns
   uint32_t tid;  // thread current when the event was logged (0 before init)
   uint32_t a;
   uint32_t b;

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/debug/replay.hpp"
 #include "src/debug/trace.hpp"
 
 namespace fsup::hostos::fault {
@@ -238,6 +239,18 @@ void FailRandom(Call c, uint64_t seed, uint32_t permille, int err) {
 }
 
 int ShouldFail(Call c) {
+  // Replay steering comes before the fast path: a replayed run injects exactly the faults the
+  // log carries, whether or not this process armed any rule of its own. The per-rule counters
+  // are deliberately untouched — the log, not the rules, is the authority during replay.
+  if (debug::replay::Replaying()) {
+    const int err = debug::replay::ReplayFault(static_cast<uint32_t>(c));
+    if (err != 0) {
+      ++g_total_injected;
+      debug::trace::Log(debug::trace::Event::kFault, static_cast<uint32_t>(c),
+                        static_cast<uint32_t>(err));
+    }
+    return err;
+  }
   if (!g_any_armed) {
     return 0;
   }
@@ -259,6 +272,9 @@ int ShouldFail(Call c) {
   }
   ++r.injected;
   ++g_total_injected;
+  // The firing is a scheduling decision: record it (before the trace record, so the ring
+  // stamp matches the replay side) and a replayed run will re-inject it at the same index.
+  debug::replay::OnFault(static_cast<uint32_t>(c), static_cast<uint32_t>(r.err));
   debug::trace::Log(debug::trace::Event::kFault, static_cast<uint32_t>(c),
                     static_cast<uint32_t>(r.err));
   return r.err;

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <climits>
 
+#include "src/debug/replay.hpp"
 #include "src/hostos/fault.hpp"
 #include "src/util/assert.hpp"
 
@@ -74,6 +75,24 @@ int Sigprocmask(int how, const sigset_t* set, sigset_t* old) {
 }
 
 int Setitimer(int which, const itimerval* value, itimerval* old) {
+  // A replayed run takes every tick from the schedule log; arming the physical interval timer
+  // would only race a spurious SIGALRM against it. The fault hook still runs — the recorded
+  // run may have had faults injected here, and those decisions must be consumed at the same
+  // index — but the raw syscall is skipped. Leaving replay re-arms from the live timer heap
+  // (StopReplay / log exhaustion).
+  if (debug::replay::Replaying()) {
+    Bump(Call::kSetitimer);
+    for (int attempt = 0;; ++attempt) {
+      const int injected = fault::ShouldFail(Call::kSetitimer);
+      if (injected == 0) {
+        return 0;
+      }
+      if (injected != EINTR || attempt >= kMaxEintrRetries) {
+        errno = injected;
+        return -1;
+      }
+    }
+  }
   return CountedRetryingCall(Call::kSetitimer,
                              [&] { return ::setitimer(which, value, old); });
 }

@@ -11,6 +11,7 @@
 
 #include "src/cancel/cancel.hpp"
 #include "src/debug/metrics.hpp"
+#include "src/debug/replay.hpp"
 #include "src/hostos/unix_if.hpp"
 #include "src/kernel/kernel.hpp"
 #include "src/signals/sigmodel.hpp"
@@ -186,6 +187,7 @@ int WakeMatching(FdState* s, uint32_t revents) {
   s->waiters.ForEachSafe([&](Tcb* t) {
     if ((revents & (EPOLLERR | EPOLLHUP)) != 0 ||
         (revents & ToEpollMask(t->io_events)) != 0) {
+      debug::replay::OnIoWake(t->id, revents);
       DetachWaiter(s, t);
       t->io_ready = true;
       kernel::MakeReady(t);
@@ -240,7 +242,7 @@ bool RetryAfterEintr(int64_t deadline_ns) {
   return deadline_ns < 0 || NowNs() < deadline_ns;
 }
 
-void EpollPass(int64_t deadline_ns) {
+int EpollPass(int64_t deadline_ns) {
   epoll_event evs[kMaxEventsPerWait];
   int rc;
   for (;;) {
@@ -256,16 +258,20 @@ void EpollPass(int64_t deadline_ns) {
       break;
     }
     if (!RetryAfterEintr(deadline_ns)) {
-      return;
+      return 0;
     }
   }
   // O(ready) dispatch: only fds the kernel reported are touched, however many are registered.
+  int woke = 0;
   for (int i = 0; i < rc; ++i) {
     FdState* s = static_cast<FdState*>(evs[i].data.ptr);
-    if (WakeMatching(s, evs[i].events) == 0) {
+    const int w = WakeMatching(s, evs[i].events);
+    if (w == 0) {
       DemoteStale(s, evs[i].events);
     }
+    woke += w;
   }
+  return woke;
 }
 
 bool GrowPollScratch(uint32_t need) {
@@ -291,7 +297,7 @@ bool GrowPollScratch(uint32_t need) {
   return true;
 }
 
-void PollPass(int64_t deadline_ns) {
+int PollPass(int64_t deadline_ns) {
   // The seed's strategy, cap lifted: rebuild a pollfd array from every fd that has waiters
   // (O(registered) per pass — the cost the epoll backend exists to avoid).
   nfds_t n = 0;
@@ -312,6 +318,19 @@ void PollPass(int64_t deadline_ns) {
         ++n;
       }
     }
+    // Hash-chain order depends on node recycling history; sort by fd so the pass order —
+    // and with it the wake order of same-readiness fds — is a stable function of the fd set.
+    for (nfds_t i = 1; i < n; ++i) {
+      pollfd pf = g_pollfds[i];
+      FdState* sl = g_pollslots[i];
+      nfds_t j = i;
+      for (; j > 0 && g_pollfds[j - 1].fd > pf.fd; --j) {
+        g_pollfds[j] = g_pollfds[j - 1];
+        g_pollslots[j] = g_pollslots[j - 1];
+      }
+      g_pollfds[j] = pf;
+      g_pollslots[j] = sl;
+    }
   }
   int rc;
   for (;;) {
@@ -324,20 +343,22 @@ void PollPass(int64_t deadline_ns) {
       break;
     }
     if (!RetryAfterEintr(deadline_ns)) {
-      return;
+      return 0;
     }
   }
   if (rc == 0) {
-    return;  // timeout
+    return 0;  // timeout
   }
+  int woke = 0;
   for (nfds_t i = 0; i < n; ++i) {
     if (g_pollfds[i].revents == 0) {
       continue;
     }
     FdState* s = g_pollslots[i];
-    WakeMatching(s, PollReventsToEpoll(g_pollfds[i].revents));
+    woke += WakeMatching(s, PollReventsToEpoll(g_pollfds[i].revents));
     MaybeReclaim(s);  // poll nodes hold no kernel registration worth caching
   }
+  return woke;
 }
 
 }  // namespace
@@ -365,12 +386,15 @@ void PollOnce(int64_t timeout_ns) {
   ResolveBackend();
   debug::metrics::OnIdlePoll();
   ++g_stats.probes;
-  const int64_t deadline_ns = timeout_ns < 0 ? -1 : NowNs() + timeout_ns;
-  if (g_backend == Backend::kEpoll) {
-    EpollPass(deadline_ns);
-  } else {
-    PollPass(deadline_ns);
+  if (debug::replay::Replaying()) {
+    // The pass is virtualized: no syscall runs; the log supplies the wakeups (and any fault
+    // the recorded pass absorbed), making replay identical across io backends.
+    debug::replay::ReplayIdleIo();
+    return;
   }
+  const int64_t deadline_ns = timeout_ns < 0 ? -1 : NowNs() + timeout_ns;
+  const int woke = g_backend == Backend::kEpoll ? EpollPass(deadline_ns) : PollPass(deadline_ns);
+  debug::replay::OnIoDone(static_cast<uint32_t>(woke));
 }
 
 int WaitFdReady(int fd, short events) {
@@ -437,6 +461,16 @@ void ForgetThread(Tcb* t) {
   }
   DetachWaiter(s, t);
   MaybeReclaim(s);
+}
+
+void ReplayWake(Tcb* t) {
+  FdState* s = static_cast<FdState*>(t->io_wait_node);
+  FSUP_CHECK_MSG(s != nullptr, "replayed io wake for a thread not blocked on an fd");
+  DetachWaiter(s, t);
+  t->io_ready = true;
+  kernel::MakeReady(t);
+  ++g_stats.wakeups;
+  MaybeReclaim(s);  // no-op under epoll (node stays as the interest cache), frees under poll
 }
 
 void ResetForTesting() {

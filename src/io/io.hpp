@@ -66,6 +66,10 @@ int WaitFdReady(int fd, short events);
 // Removes t from its fd's wait list (fake-call unblocking, thread reap, reset). O(1).
 void ForgetThread(Tcb* t);
 
+// Replay-side wakeup: detaches t from its fd's wait list and readies it, exactly as the
+// recorded poll pass did, without consulting any fd. In kernel; t must be io-blocked.
+void ReplayWake(Tcb* t);
+
 // Converts a remaining-time budget to a poll(2)/epoll_wait(2) millisecond timeout: rounds up
 // (a short sleep must not busy-spin) and clamps to INT_MAX (a far-future deadline must not
 // overflow int, which would turn a bounded wait into an infinite or zero-timeout poll).

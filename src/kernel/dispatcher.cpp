@@ -8,6 +8,7 @@
 #include <cerrno>
 
 #include "src/debug/metrics.hpp"
+#include "src/debug/replay.hpp"
 #include "src/debug/trace.hpp"
 #include "src/io/io.hpp"
 #include "src/kernel/kernel.hpp"
@@ -36,6 +37,7 @@ void SwitchTo(Tcb* next) {
   ++next->switches_in;
   ++k.ctx_switches;
   k.current = next;
+  debug::replay::OnSwitch(cur->id, next->id);
   debug::trace::OnSwitch(cur->id, next->id);
   debug::metrics::OnSwitch(cur, next);
 
@@ -77,7 +79,9 @@ void IdleWait() {
   }
   io::PollOnce(timeout_ns);
 
-  if (deadline >= 0 && NowNs() >= deadline) {
+  // Under replay the wall clock is meaningless — ticks fire only when the log says so (the
+  // dispatch loop's replay gate), never from a live deadline comparison.
+  if (!debug::replay::Replaying() && deadline >= 0 && NowNs() >= deadline) {
     sig::OnTimerTick();
   }
   const SigSet deferred = k.sigs_caught_in_kernel.exchange(0, std::memory_order_relaxed);
@@ -103,6 +107,12 @@ void DispatchKeepKernel() {
       continue;
     }
 
+    // Replay-side twin of the deferred-signal check: async log records whose recorded firing
+    // point was inside the dispatcher (deferred ticks, idle-wait wakeups) fire here.
+    if (debug::replay::g_gate_pending && debug::replay::GateInDispatcher()) {
+      continue;
+    }
+
     Tcb* cur = k.current;
     Tcb* next = nullptr;
 
@@ -120,7 +130,15 @@ void DispatchKeepKernel() {
       }
     } else {
       if (sched::TakeRandomPickRequest() && !k.ready.empty()) {
-        next = k.ready.PopNth(k.rng.NextBelow(k.ready.size()));
+        uint64_t idx;
+        if (debug::replay::Replaying()) {
+          idx = debug::replay::ReplayRngPick();
+          FSUP_CHECK_MSG(idx < k.ready.size(), "replayed random pick out of range");
+        } else {
+          idx = k.rng.NextBelow(k.ready.size());
+          debug::replay::OnRngPick(idx);
+        }
+        next = k.ready.PopNth(idx);
       } else {
         next = k.ready.PopHighest();
       }

@@ -12,6 +12,7 @@
 #include "src/debug/export.hpp"
 #include "src/debug/introspect.hpp"
 #include "src/debug/metrics.hpp"
+#include "src/debug/replay.hpp"
 #include "src/debug/trace.hpp"
 #include "src/io/io.hpp"
 #include "src/sched/perverted.hpp"
@@ -81,6 +82,9 @@ void EnsureInit() {
       v != nullptr && v[0] != '\0' && v[0] != '0') {
     debug::metrics::Enable(true);
   }
+  // FSUP_RECORD / FSUP_REPLAY / FSUP_EXPLORE_*: armed last so a recording starts with the
+  // runtime fully up and a replay finds the same initialized state the recording saw.
+  debug::replay::InitFromEnv();
   log::Write("runtime initialized");
 }
 
@@ -174,6 +178,11 @@ void Yield() {
 void Exit() {
   KernelState& k = ks();
   FSUP_ASSERT(k.in_kernel != 0);
+  // Exploration/replay gate before the perverted hook: a forced switch demotes the current
+  // thread, which makes the perverted hook a no-op — identically in record and replay.
+  if (debug::replay::g_exit_hook) {
+    debug::replay::OnKernelExitGate();
+  }
   if (k.perverted != PervertedPolicy::kNone) {
     sched::PervertedOnKernelExit();
   }

@@ -26,6 +26,13 @@
 #include "src/util/intrusive_list.hpp"
 #include "src/util/rng.hpp"
 
+namespace fsup::debug::replay {
+// See debug/replay.hpp. Declared here so the inline kernel entry can poll the replay gate
+// without pulling the replay module into every kernel include.
+extern volatile bool g_gate_pending;
+void RunGate();
+}  // namespace fsup::debug::replay
+
 namespace fsup {
 
 // Virtual per-signal disposition, the library-level analogue of struct sigaction. The library
@@ -104,8 +111,13 @@ void ReinitForTesting();
 
 inline bool InKernel() { return ks().in_kernel != 0; }
 
-// Enters the monitor. Must not already be inside.
+// Enters the monitor. Must not already be inside. Under replay, asynchronous log records
+// (ticks, external signals) that the recorded run took *outside* the kernel are fired here,
+// before this entry proceeds — the replay-side stand-in for the universal signal handler.
 inline void Enter() {
+  while (debug::replay::g_gate_pending) {
+    debug::replay::RunGate();
+  }
   KernelState& k = ks();
   FSUP_ASSERT(k.in_kernel == 0);
   k.in_kernel = 1;

@@ -1,5 +1,6 @@
 #include "src/sched/perverted.hpp"
 
+#include "src/debug/replay.hpp"
 #include "src/kernel/kernel.hpp"
 #include "src/util/assert.hpp"
 
@@ -30,12 +31,22 @@ void PervertedOnKernelExit() {
     case PervertedPolicy::kRrOrdered:
       DemoteCurrent(k);
       break;
-    case PervertedPolicy::kRandom:
-      if (k.rng.NextBool()) {
+    case PervertedPolicy::kRandom: {
+      // The coin is a recorded decision: a replayed run takes it from the log instead of
+      // advancing the live rng, so the same kernel exits force the same switches.
+      bool heads;
+      if (debug::replay::Replaying()) {
+        heads = debug::replay::ReplayRngCoin();
+      } else {
+        heads = k.rng.NextBool();
+        debug::replay::OnRngCoin(heads);
+      }
+      if (heads) {
         DemoteCurrent(k);
         g_random_pick_pending = true;
       }
       break;
+    }
     case PervertedPolicy::kMutexSwitch:
     case PervertedPolicy::kNone:
       break;
@@ -58,6 +69,16 @@ void PervertedOnMutexLock() {
   k.ready.PushBack(self);
   k.dispatch_pending = 1;
   ++k.forced_switches;
+}
+
+bool ForceSwitchNow() {
+  KernelState& k = kernel::ks();
+  FSUP_ASSERT(k.in_kernel != 0);
+  if (k.current == nullptr || k.current->state != ThreadState::kRunning || k.ready.empty()) {
+    return false;  // nothing to interleave with
+  }
+  DemoteCurrent(k);
+  return true;
 }
 
 bool TakeRandomPickRequest() {

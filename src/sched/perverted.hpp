@@ -32,6 +32,11 @@ void PervertedOnMutexLock();
 // once per forced random switch.
 bool TakeRandomPickRequest();
 
+// The exploration driver's lever (debug/replay.hpp): demotes the running thread below every
+// other ready thread, exactly like the kernel-exit policies. Returns false — and changes
+// nothing — when there is no other ready thread to interleave with. In kernel.
+bool ForceSwitchNow();
+
 void SetPolicy(PervertedPolicy policy, uint64_t seed);
 PervertedPolicy Policy();
 

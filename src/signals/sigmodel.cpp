@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include "src/cancel/cancel.hpp"
+#include "src/debug/replay.hpp"
 #include "src/debug/trace.hpp"
 #include "src/hostos/unix_if.hpp"
 #include "src/signals/fake_call.hpp"
@@ -110,6 +111,9 @@ void DeliverToProcess(int signo, Cause cause, Tcb* hint) {
       DeliverToThread(k.current, signo);
       return;
     case Cause::kExternal:
+      // An asynchronous process-level signal is a scheduling decision: its arrival point is
+      // recorded, and a replayed run refires it from the log at the same decision index.
+      debug::replay::OnExtSignal(signo);
       break;
   }
 

@@ -14,6 +14,7 @@
 // time slicing.
 
 #include "src/debug/metrics.hpp"
+#include "src/debug/replay.hpp"
 #include "src/debug/trace.hpp"
 #include "src/hostos/unix_if.hpp"
 #include "src/kernel/kernel.hpp"
@@ -102,17 +103,26 @@ void ProgramItimer() {
   k.itimer_deadline_ns = next;
 }
 
-void OnTimerTick() {
+namespace {
+
+// The tick body, shared by the live path (expire by wall clock) and the replay path (expire
+// exactly the recorded count — ForceTimerTick — so a replayed tick readies the same sleepers
+// no matter what the clock says now).
+void TickImpl(bool forced, uint32_t forced_expired, bool forced_slice) {
   FSUP_ASSERT(kernel::InKernel());
   KernelState& k = kernel::ks();
   k.itimer_deadline_ns = -1;  // the programmed shot has fired (or we are past it)
   const int64_t now = NowNs();
   debug::metrics::OnTimerTick();
+  // Reserve the decision slot before any delivery below logs trace records, so the inner
+  // records carry the same decision stamps in record and replay. Forced ticks pass the
+  // no-slot sentinel: their decision was already consumed from the log.
+  const size_t slot = forced ? ~static_cast<size_t>(0) : debug::replay::BeginTick();
   uint32_t expired = 0;
 
   for (;;) {
     TimerEntry* head = k.timers.Top();
-    if (head == nullptr || head->deadline_ns > now) {
+    if (head == nullptr || (forced ? expired >= forced_expired : head->deadline_ns > now)) {
       break;
     }
     k.timers.PopMin();
@@ -133,8 +143,14 @@ void OnTimerTick() {
     }
   }
 
+  if (forced) {
+    FSUP_CHECK_MSG(expired == forced_expired, "replayed tick expired fewer timers than recorded");
+  }
+
   // Model action 2, slicing half: reposition the running thread at the tail of its queue.
-  if (k.slice_armed && now >= k.slice_deadline_ns) {
+  bool slice_fired = false;
+  if (k.slice_armed && (forced ? forced_slice : now >= k.slice_deadline_ns)) {
+    slice_fired = true;
     k.slice_armed = false;
     Tcb* cur = k.current;
     if (cur != nullptr && cur->state == ThreadState::kRunning &&
@@ -147,9 +163,18 @@ void OnTimerTick() {
     }
   }
 
+  debug::replay::EndTick(slot, expired, slice_fired);
   debug::trace::Log(debug::trace::Event::kTimerTick,
                     k.current != nullptr ? k.current->id : 0, expired);
   ProgramItimer();
+}
+
+}  // namespace
+
+void OnTimerTick() { TickImpl(false, 0, false); }
+
+void ForceTimerTick(uint32_t expired, bool slice_fired) {
+  TickImpl(true, expired, slice_fired);
 }
 
 void OnDispatch(Tcb* next) {

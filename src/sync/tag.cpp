@@ -9,4 +9,6 @@ uint32_t g_next_tag = 1;
 
 uint32_t NextSyncTag() { return g_next_tag++; }
 
+void ResetSyncTags() { g_next_tag = 1; }
+
 }  // namespace fsup::sync

@@ -5,7 +5,9 @@
 // a mutex and a condition variable can never share a value — separate per-type counters made
 // "mutex 1" and "cond 1" indistinguishable in an exported timeline. The counter is monotonic
 // across ReinitForTesting on purpose: objects created before and after a reinit stay
-// distinguishable in one trace.
+// distinguishable in one trace. Record/replay is the one exception: tags stamp trace records
+// that a replayed run must reproduce bit-exactly, so StartRecording/StartReplay rewind the
+// counter to a common origin, the same way they rewind the decision counter.
 
 #ifndef FSUP_SRC_SYNC_TAG_HPP_
 #define FSUP_SRC_SYNC_TAG_HPP_
@@ -16,6 +18,9 @@ namespace fsup::sync {
 
 // Returns the next unused tag (starting at 1; 0 means "untagged").
 uint32_t NextSyncTag();
+
+// Rewinds the counter to its origin (replay session start; see above).
+void ResetSyncTags();
 
 }  // namespace fsup::sync
 

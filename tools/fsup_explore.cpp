@@ -1,0 +1,251 @@
+// Schedule-exploration runner: re-executes a test binary under perturbed schedules until one
+// fails, then shrinks the failing schedule to a minimal set of forced-switch points.
+//
+//   fsup_explore [--window N] [--seeds N] [--permille P] [--seed0 S] [--shrink-budget N]
+//                [--record-dir DIR] -- <command> [args...]
+//
+// Phases mirror debug/explore.hpp, but each run is a fresh subprocess, so the subject may
+// fail by crashing, aborting, or any nonzero exit — whatever gtest/asserts do on a real
+// ordering bug. Perturbation is injected through the library's own environment hooks:
+// FSUP_EXPLORE_POINTS (explicit gate ordinals) and FSUP_EXPLORE_SEED/FSUP_EXPLORE_PROB
+// (seeded random firing). Each run also sets FSUP_RECORD so a failing random run's fired
+// ordinals can be lifted from the schedule log (replay::ReadLogFile) and re-verified as an
+// explicit point set before shrinking.
+//
+// Exit status: 0 = no failure found, 1 = failure found (minimal schedule printed),
+// 2 = usage/setup error.
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/debug/replay.hpp"
+
+namespace {
+
+struct Config {
+  uint64_t window = 16;
+  uint32_t seeds = 8;
+  uint64_t seed0 = 1;
+  uint32_t permille = 30;
+  uint32_t shrink_budget = 64;
+  std::string record_dir = "/tmp";
+  std::vector<char*> command;
+};
+
+int g_runs = 0;
+
+std::string PointsSpec(const std::vector<uint64_t>& pts) {
+  std::string s;
+  for (uint64_t p : pts) {
+    if (!s.empty()) {
+      s += ',';
+    }
+    s += std::to_string(p);
+  }
+  return s;
+}
+
+// Runs the subject once with the given env overrides. Returns true if it PASSED (exit 0).
+bool RunChild(const Config& cfg, const char* points, const char* seed, const char* prob,
+              const std::string& record_path) {
+  ++g_runs;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("fsup_explore: fork");
+    std::exit(2);
+  }
+  if (pid == 0) {
+    if (points != nullptr) {
+      ::setenv("FSUP_EXPLORE_POINTS", points, 1);
+    } else {
+      ::unsetenv("FSUP_EXPLORE_POINTS");
+    }
+    if (seed != nullptr) {
+      ::setenv("FSUP_EXPLORE_SEED", seed, 1);
+      ::setenv("FSUP_EXPLORE_PROB", prob, 1);
+    } else {
+      ::unsetenv("FSUP_EXPLORE_SEED");
+      ::unsetenv("FSUP_EXPLORE_PROB");
+    }
+    ::setenv("FSUP_RECORD", record_path.c_str(), 1);
+    ::execvp(cfg.command[0], cfg.command.data());
+    std::perror("fsup_explore: exec");
+    std::_Exit(127);
+  }
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) {
+    std::perror("fsup_explore: waitpid");
+    std::exit(2);
+  }
+  if (WIFEXITED(status) && WEXITSTATUS(status) == 127) {
+    std::fprintf(stderr, "fsup_explore: cannot execute %s\n", cfg.command[0]);
+    std::exit(2);
+  }
+  return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+
+bool RunWithPoints(const Config& cfg, const std::vector<uint64_t>& pts,
+                   const std::string& record_path) {
+  return RunChild(cfg, PointsSpec(pts).c_str(), nullptr, nullptr, record_path);
+}
+
+// Lifts the forced-switch ordinals out of a run's schedule log.
+std::vector<uint64_t> FiredPoints(const std::string& record_path) {
+  namespace replay = fsup::debug::replay;
+  std::vector<uint64_t> fired;
+  size_t count = 0;
+  if (replay::ReadLogFile(record_path.c_str(), nullptr, 0, &count) != 0) {
+    return fired;
+  }
+  std::vector<replay::LogRecord> log(count);
+  if (replay::ReadLogFile(record_path.c_str(), log.data(), log.size(), &count) != 0) {
+    return fired;
+  }
+  for (const replay::LogRecord& r : log) {
+    if (r.kind == replay::Decision::kForced) {
+      fired.push_back(r.a);
+    }
+  }
+  return fired;
+}
+
+std::vector<uint64_t> Shrink(const Config& cfg, std::vector<uint64_t> pts,
+                             const std::string& record_path) {
+  uint32_t budget = cfg.shrink_budget;
+  if (pts.size() > 1) {
+    for (uint64_t p : pts) {
+      if (budget == 0) {
+        return pts;
+      }
+      --budget;
+      if (!RunWithPoints(cfg, {p}, record_path)) {
+        return {p};
+      }
+    }
+  }
+  for (size_t i = 0; i < pts.size() && pts.size() > 1;) {
+    if (budget == 0) {
+      break;
+    }
+    --budget;
+    std::vector<uint64_t> without(pts);
+    without.erase(without.begin() + static_cast<long>(i));
+    if (!RunWithPoints(cfg, without, record_path)) {
+      pts = std::move(without);
+    } else {
+      ++i;
+    }
+  }
+  return pts;
+}
+
+[[noreturn]] void ReportFailure(const Config& cfg, const std::vector<uint64_t>& pts,
+                                const char* how) {
+  std::printf("fsup_explore: FAILURE found (%s) after %d runs\n", how, g_runs);
+  std::printf("fsup_explore: minimal schedule: FSUP_EXPLORE_POINTS=%s %s\n",
+              PointsSpec(pts).c_str(), cfg.command[0]);
+  std::exit(1);
+}
+
+[[noreturn]] void Usage() {
+  std::fprintf(stderr,
+               "usage: fsup_explore [--window N] [--seeds N] [--permille P] [--seed0 S]\n"
+               "                    [--shrink-budget N] [--record-dir DIR] -- command...\n");
+  std::exit(2);
+}
+
+uint64_t ArgU64(int argc, char** argv, int* i) {
+  if (*i + 1 >= argc) {
+    Usage();
+  }
+  return std::strtoull(argv[++*i], nullptr, 10);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  int i = 1;
+  for (; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--") == 0) {
+      ++i;
+      break;
+    }
+    if (std::strcmp(argv[i], "--window") == 0) {
+      cfg.window = ArgU64(argc, argv, &i);
+    } else if (std::strcmp(argv[i], "--seeds") == 0) {
+      cfg.seeds = static_cast<uint32_t>(ArgU64(argc, argv, &i));
+    } else if (std::strcmp(argv[i], "--permille") == 0) {
+      cfg.permille = static_cast<uint32_t>(ArgU64(argc, argv, &i));
+    } else if (std::strcmp(argv[i], "--seed0") == 0) {
+      cfg.seed0 = ArgU64(argc, argv, &i);
+    } else if (std::strcmp(argv[i], "--shrink-budget") == 0) {
+      cfg.shrink_budget = static_cast<uint32_t>(ArgU64(argc, argv, &i));
+    } else if (std::strcmp(argv[i], "--record-dir") == 0) {
+      if (i + 1 >= argc) {
+        Usage();
+      }
+      cfg.record_dir = argv[++i];
+    } else {
+      Usage();
+    }
+  }
+  for (; i < argc; ++i) {
+    cfg.command.push_back(argv[i]);
+  }
+  if (cfg.command.empty()) {
+    Usage();
+  }
+  cfg.command.push_back(nullptr);
+
+  const std::string record_path =
+      cfg.record_dir + "/fsup_explore." + std::to_string(::getpid()) + ".rpl";
+
+  // Phase 0: one unperturbed run — a subject that fails on its own has no schedule to blame.
+  if (!RunChild(cfg, nullptr, nullptr, nullptr, record_path)) {
+    std::fprintf(stderr, "fsup_explore: subject fails without perturbation\n");
+    std::remove(record_path.c_str());
+    std::exit(2);
+  }
+
+  // Phase 1: systematic — a single forced switch at each gate ordinal in [0, window).
+  for (uint64_t ord = 0; ord < cfg.window; ++ord) {
+    if (!RunWithPoints(cfg, {ord}, record_path)) {
+      std::remove(record_path.c_str());
+      ReportFailure(cfg, {ord}, "systematic");  // one switch: already minimal
+    }
+  }
+
+  // Phase 2: seeded random firing; on failure, lift + verify + shrink the fired set.
+  const std::string prob = std::to_string(cfg.permille);
+  for (uint32_t s = 0; s < cfg.seeds; ++s) {
+    const std::string seed = std::to_string(cfg.seed0 + s);
+    if (RunChild(cfg, nullptr, seed.c_str(), prob.c_str(), record_path)) {
+      continue;
+    }
+    std::vector<uint64_t> fired = FiredPoints(record_path);
+    std::printf("fsup_explore: seed %s failed with %zu forced switches\n", seed.c_str(),
+                fired.size());
+    if (!fired.empty() && fired.size() <= 64 && !RunWithPoints(cfg, fired, record_path)) {
+      fired = Shrink(cfg, fired, record_path);
+      std::remove(record_path.c_str());
+      ReportFailure(cfg, fired, "random, shrunk");
+    }
+    std::remove(record_path.c_str());
+    std::printf("fsup_explore: not reproducible as points; rerun with FSUP_EXPLORE_SEED=%s "
+                "FSUP_EXPLORE_PROB=%s\n",
+                seed.c_str(), prob.c_str());
+    std::exit(1);
+  }
+
+  std::remove(record_path.c_str());
+  std::printf("fsup_explore: no failure in %d runs\n", g_runs);
+  return 0;
+}
