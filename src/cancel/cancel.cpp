@@ -39,7 +39,7 @@ bool IsInterruptionPoint(BlockReason r) {
 void ActOn(Tcb* t) {
   debug::trace::Log(debug::trace::Event::kCancel, t->id, 1);
   t->intr_enabled = false;
-  t->sigmask = kSigSetAll;
+  sig::NoteSigmaskSet(t, kSigSetAll);
   t->pending &= ~SigBit(kSigCancel);
   if (t == kernel::Current()) {
     g_self_cancel = true;
@@ -80,7 +80,7 @@ void TestIntrInKernel() {
   }
   self->pending &= ~SigBit(kSigCancel);
   self->intr_enabled = false;
-  self->sigmask = kSigSetAll;
+  sig::NoteSigmaskSet(self, kSigSetAll);
   kernel::ExitProtocol();
   api::ExitCurrent(kCanceled);
 }

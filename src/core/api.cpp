@@ -49,6 +49,7 @@ void ReapTerminatedLocked(Tcb* t) {
   FSUP_ASSERT(t != k.current);
   t->link.Unlink();  // zombie list, if queued there
   t->all_link.Unlink();
+  sig::NoteThreadUnlinked(t);
   sig::ForgetThread(t);
   if (t == k.main_tcb) {
     return;  // static storage; never pooled
@@ -97,9 +98,12 @@ void ExitCurrent(void* retval) {
   Tcb* self = kernel::Current();
   FSUP_CHECK_MSG(kernel::ks().in_kernel == 0, "pt_exit from inside the kernel");
 
-  // No further interruptions: the thread is committed to terminating.
+  // No further interruptions: the thread is committed to terminating. The mask write takes a
+  // brief monitor section so the masked-thread counter update cannot be torn by a signal.
   self->intr_enabled = false;
-  self->sigmask = kSigSetAll;
+  kernel::Enter();
+  sig::NoteSigmaskSet(self, kSigSetAll);
+  kernel::Exit();
 
   cleanup::RunAll(self);      // newest first — user code, outside the kernel
   tsd::RunDestructors(self);  // user code
@@ -107,6 +111,7 @@ void ExitCurrent(void* retval) {
   kernel::Enter();
   KernelState& k = kernel::ks();
   self->retval = retval;
+  debug::metrics::OnStateChange(self, ThreadState::kTerminated);
   self->state = ThreadState::kTerminated;
   sig::ForgetThread(self);
   io::ForgetThread(self);
@@ -211,12 +216,15 @@ int pt_create(pt_thread_t* thread, const ThreadAttr* attr, void* (*fn)(void*), v
   t->base_prio = a.priority != -1 ? a.priority : self->base_prio;
   t->prio = t->base_prio;
   t->policy = a.inherit_policy ? self->policy : a.policy;
-  t->sigmask = self->sigmask;  // inherited, as in POSIX
+  sig::NoteSigmaskSet(t, self->sigmask);  // inherited, as in POSIX
   if (a.name != nullptr) {
     std::strncpy(t->name, a.name, sizeof(t->name) - 1);
   }
   k.all_threads.PushBack(t);
   ++k.live_threads;
+  // Stamp the newborn's metrics clock before its first state transition: the recycled TCB
+  // slot may carry a previous tenant's accumulators under the current epoch.
+  debug::metrics::OnThreadCreate(t);
 
   if (a.lazy) {
     t->lazy = true;
@@ -443,13 +451,13 @@ int pt_sigmask(SigMaskHow how, SigSet set, SigSet* old_set) {
   }
   switch (how) {
     case SigMaskHow::kBlock:
-      self->sigmask |= set;
+      sig::NoteSigmaskSet(self, self->sigmask | set);
       break;
     case SigMaskHow::kUnblock:
-      self->sigmask &= ~set;
+      sig::NoteSigmaskSet(self, self->sigmask & ~set);
       break;
     case SigMaskHow::kSetMask:
-      self->sigmask = set;
+      sig::NoteSigmaskSet(self, set);
       break;
   }
   sig::CheckPendingAfterUnmask(self);
@@ -510,6 +518,7 @@ int pt_cancel(pt_thread_t t) {
   if (t->lazy && api::ActivateLazyInKernel(t) != 0) {
     // No stack to run cancellation on: mark the thread terminated directly — it never
     // started, so there are no cleanup handlers or TSD destructors to honor.
+    debug::metrics::OnStateChange(t, ThreadState::kTerminated);
     t->state = ThreadState::kTerminated;
     t->retval = kCanceled;
     Tcb* j;

@@ -30,6 +30,7 @@ uint64_t StackPoolReuses();
 uint64_t StackPoolMaps();
 uint64_t StackPoolFree();
 uint64_t StackPoolAllocFailures();
+uint64_t StackPoolLazyCommits();
 
 }  // namespace fsup::probe
 

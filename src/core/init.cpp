@@ -34,4 +34,6 @@ uint64_t StackPoolFree() { return kernel::ks().pool->pooled_stacks(); }
 
 uint64_t StackPoolAllocFailures() { return kernel::ks().pool->alloc_failures(); }
 
+uint64_t StackPoolLazyCommits() { return kernel::ks().pool->lazy_commits(); }
+
 }  // namespace fsup::probe

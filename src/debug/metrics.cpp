@@ -35,6 +35,27 @@ Globals g_state;
 
 #ifndef FSUP_NO_METRICS
 
+// Generation counter for the lazy per-thread reset. Enable(true) bumps it; a TCB whose
+// metrics.epoch is stale has not been touched since enable and its accumulators are garbage
+// from a previous enable span (or from a recycled TCB slot). Lives outside Globals so the
+// accumulator reset in Enable cannot clobber it.
+uint32_t g_epoch = 0;
+
+// Brings t's accumulators into the current epoch. A stale thread has taken no hook since
+// enable time, and hooks fire on every state transition — so it has been sitting in its
+// current state since the clock started. Hooks call this before reading or mutating any
+// per-thread field; state-transition hooks therefore run BEFORE t->state mutates.
+void Touch(Tcb* t) {
+  TcbMetrics& m = t->metrics;
+  if (m.epoch == g_epoch) {
+    return;
+  }
+  m = TcbMetrics{};
+  m.epoch = g_epoch;
+  m.acct_state = static_cast<uint8_t>(t->state);
+  m.state_since_ns = g_state.enabled_since_ns;
+}
+
 // Folds the time since t's last state stamp into the bucket for the state it was in, and
 // restamps. Returns the folded duration (used for the scheduling-latency histogram).
 int64_t FoldStateTime(Tcb* t, int64_t now) {
@@ -87,28 +108,38 @@ bool g_enabled = false;
 void Enable(bool on) {
   kernel::EnsureInit();
   kernel::Enter();
-  KernelState& k = kernel::ks();
   if (on && !g_enabled) {
     g_state = Globals{};
     g_state.enabled_since_ns = NowNs();
-    for (Tcb* t : k.all_threads) {
-      t->metrics = TcbMetrics{};
-      t->metrics.acct_state = static_cast<uint8_t>(t->state);
-      t->metrics.state_since_ns = g_state.enabled_since_ns;
-    }
+    // O(1) regardless of thread count: invalidate instead of walking a million TCBs. Each
+    // thread's accumulators reset lazily (Touch) the first time a hook sees it.
+    ++g_epoch;
   }
   g_enabled = on;
   kernel::Exit();
 }
 
+void OnThreadCreateSlow(Tcb* t) {
+  // A thread born after enable starts its clock now, not at enable time — and its recycled
+  // TCB slot may carry a stale-but-matching epoch from a previous tenant, so the reset is
+  // unconditional.
+  t->metrics = TcbMetrics{};
+  t->metrics.epoch = g_epoch;
+  t->metrics.acct_state = static_cast<uint8_t>(t->state);
+  t->metrics.state_since_ns = NowNs();
+}
+
 int64_t EnabledSinceNs() { return g_state.enabled_since_ns; }
 
 void OnStateChangeSlow(Tcb* t, ThreadState new_state) {
+  Touch(t);
   FoldStateTime(t, NowNs());
   t->metrics.acct_state = static_cast<uint8_t>(new_state);
 }
 
 void OnSwitchSlow(Tcb* from, Tcb* to) {
+  Touch(from);
+  Touch(to);
   if (g_state.next_switch_preempted) {
     g_state.next_switch_preempted = false;
     ++g_state.preempted_switches;
@@ -128,6 +159,7 @@ void OnSwitchSlow(Tcb* from, Tcb* to) {
 void MarkPreemptionSlow() { g_state.next_switch_preempted = true; }
 
 void OnMutexWaitSlow(Tcb* t, int64_t wait_ns) {
+  Touch(t);
   ++t->metrics.mutex_blocks;
   t->metrics.mutex_wait_ns += wait_ns;
   g_state.mutex_wait.Add(wait_ns);
@@ -138,6 +170,7 @@ void OnMutexHoldSlow(int64_t hold_ns) { g_state.mutex_hold.Add(hold_ns); }
 void OnSignalDeliveredSlow(Tcb*) { ++g_state.signals_delivered; }
 
 void OnFakeCallSlow(Tcb* t) {
+  Touch(t);
   ++t->metrics.fake_calls;
   ++g_state.fake_calls;
 }
@@ -185,21 +218,22 @@ void Capture(MetricsSnapshot* out) {
   out->mutex_hold = g_state.mutex_hold;
 
 #ifndef FSUP_NO_METRICS
-  if (Enabled()) {
-    // Bring every thread's time-in-state current so a snapshot taken mid-run does not hide
-    // the open interval of the running thread.
-    const int64_t now = NowNs();
-    for (Tcb* t : k.all_threads) {
-      FoldStateTime(t, now);
-    }
-  }
+  // Bring the snapshotted threads' time-in-state current so a snapshot taken mid-run does
+  // not hide the open interval of the running thread. Only the threads being copied out are
+  // folded — a capture must stay O(kMaxSnapshotThreads) even with a million threads live.
+  const int64_t now = Enabled() ? NowNs() : 0;
 #endif
-
   uint32_t n = 0;
   for (Tcb* t : k.all_threads) {
     if (n >= kMaxSnapshotThreads) {
       break;
     }
+#ifndef FSUP_NO_METRICS
+    if (Enabled()) {
+      Touch(t);
+      FoldStateTime(t, now);
+    }
+#endif
     FillThreadSnap(t, &out->threads[n]);
     ++n;
   }

@@ -172,12 +172,14 @@ int DumpText(int fd);
 extern bool g_enabled;
 inline bool Enabled() { return g_enabled; }
 
-// Enables/disables collection. Enabling resets the accumulators and stamps every live
-// thread's state clock; also forces mutexes off the RAS fast path (see FastPathAllowed) so
-// every acquisition is observed. Enters the kernel.
+// Enables/disables collection. Enabling resets the global accumulators and bumps the
+// per-thread epoch — O(1) regardless of how many threads are live; each TCB's accumulators
+// are lazily reset the first time a hook touches it afterwards. Also forces mutexes off the
+// RAS fast path (see FastPathAllowed) so every acquisition is observed. Enters the kernel.
 void Enable(bool on);
 
 // -- slow paths (called only when enabled; defined in metrics.cpp) ----------------------
+void OnThreadCreateSlow(Tcb* t);
 void OnStateChangeSlow(Tcb* t, ThreadState new_state);
 void OnSwitchSlow(Tcb* from, Tcb* to);
 void MarkPreemptionSlow();
@@ -190,6 +192,14 @@ void OnIdlePollSlow();
 int64_t EnabledSinceNs();
 
 // -- hooks (one predicted branch when disabled) -----------------------------------------
+// State-transition hooks fire BEFORE the state field mutates: the lazy epoch reset reads
+// t->state to learn what the thread has been doing since enable time, so the pre-transition
+// value must still be visible at hook time.
+inline void OnThreadCreate(Tcb* t) {
+  if (g_enabled) {
+    OnThreadCreateSlow(t);
+  }
+}
 inline void OnStateChange(Tcb* t, ThreadState new_state) {
   if (g_enabled) {
     OnStateChangeSlow(t, new_state);
@@ -240,6 +250,7 @@ inline void OnIdlePoll() {
 
 constexpr bool Enabled() { return false; }
 inline void Enable(bool) {}
+inline void OnThreadCreate(Tcb*) {}
 inline void OnStateChange(Tcb*, ThreadState) {}
 inline void OnSwitch(Tcb*, Tcb*) {}
 inline void MarkPreemption() {}

@@ -1,11 +1,13 @@
 #include "src/hostos/unix_if.hpp"
 
+#include <sys/auxv.h>
 #include <sys/mman.h>
 #include <sys/syscall.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <climits>
+#include <cstdlib>
 
 #include "src/debug/replay.hpp"
 #include "src/hostos/fault.hpp"
@@ -181,6 +183,39 @@ size_t PageSize() {
   return page;
 }
 
+namespace {
+
+bool g_stack_lazy = true;
+size_t g_stack_commit = 0;  // 0 = default; resolved lazily so PageSize is available
+
+size_t ResolvedInitialCommit() {
+  const size_t page = PageSize();
+  // Default four pages: enough that a thread parked anywhere in its first page can still
+  // take a kernel-pushed signal frame (~3.5 KiB with AVX-512 xsave) without crossing into
+  // the PROT_NONE tail. RW-but-untouched pages cost no RSS, so a generous default is free.
+  size_t commit = g_stack_commit == 0 ? 4 * page : g_stack_commit;
+  return (commit + page - 1) & ~(page - 1);
+}
+
+}  // namespace
+
+void RefreshStackConfig() {
+  const char* lazy = ::getenv("FSUP_STACK_LAZY");
+  g_stack_lazy = !(lazy != nullptr && lazy[0] == '0');
+  g_stack_commit = 0;
+  if (const char* commit = ::getenv("FSUP_STACK_COMMIT"); commit != nullptr) {
+    char* end = nullptr;
+    const unsigned long long v = ::strtoull(commit, &end, 10);
+    if (end != commit && v > 0) {
+      g_stack_commit = static_cast<size_t>(v);
+    }
+  }
+}
+
+bool StackLazy() { return g_stack_lazy; }
+
+size_t StackInitialCommit() { return ResolvedInitialCommit(); }
+
 void* MapStack(size_t usable_size, size_t* mapped_size_out) {
   const size_t page = PageSize();
   const size_t usable = (usable_size + page - 1) & ~(page - 1);
@@ -191,20 +226,36 @@ void* MapStack(size_t usable_size, size_t* mapped_size_out) {
     errno = injected;
     return nullptr;
   }
-  void* base = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
-                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  const bool lazy = g_stack_lazy;
+  // Lazy mode reserves the whole range inaccessible (the guard page needs no extra protect)
+  // and commits only the top chunk; eager mode maps read-write and carves out the guard. Both
+  // shapes spend their one counted mprotect on the second step.
+  void* base = ::mmap(nullptr, total, lazy ? PROT_NONE : (PROT_READ | PROT_WRITE),
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK | (lazy ? MAP_NORESERVE : 0),
+                      -1, 0);
   if (base == MAP_FAILED) {
     return nullptr;
   }
   Bump(Call::kMprotect);
   if (const int injected = fault::ShouldFail(Call::kMprotect); injected != 0) {
-    // Simulated guard-page failure: release the fresh mapping, exactly as the real path does.
+    // Simulated protect failure: release the fresh mapping, exactly as the real path does.
     Bump(Call::kMunmap);
     ::munmap(base, total);
     errno = injected;
     return nullptr;
   }
-  if (::mprotect(base, page, PROT_NONE) != 0) {
+  char* usable_base = static_cast<char*>(base) + page;
+  int rc;
+  if (lazy) {
+    size_t commit = ResolvedInitialCommit();
+    if (commit > usable) {
+      commit = usable;
+    }
+    rc = ::mprotect(usable_base + usable - commit, commit, PROT_READ | PROT_WRITE);
+  } else {
+    rc = ::mprotect(base, page, PROT_NONE);
+  }
+  if (rc != 0) {
     Bump(Call::kMunmap);
     ::munmap(base, total);
     return nullptr;
@@ -212,7 +263,35 @@ void* MapStack(size_t usable_size, size_t* mapped_size_out) {
   if (mapped_size_out != nullptr) {
     *mapped_size_out = usable;
   }
-  return static_cast<char*>(base) + page;
+  return usable_base;
+}
+
+bool CommitStackRange(void* usable_base, size_t mapped_size, const void* fault_addr) {
+  char* lo = static_cast<char*>(usable_base);
+  const char* f = static_cast<const char*>(fault_addr);
+  if (f < lo || f >= lo + mapped_size) {
+    return false;
+  }
+  // Commit the whole remaining reservation in one call, not a window around the fault. RW
+  // pages cost RSS only when touched, so this is free memory-wise — and it is the only way
+  // to keep UNIX signal delivery safe: the host kernel pushes the signal frame at the
+  // interrupted SP itself, and a frame straddling a still-PROT_NONE page is force-converted
+  // into SIGSEGV with the original signal lost. One commit per stack removes that band below
+  // the watermark for the rest of the thread's life.
+  return ::mprotect(lo, mapped_size, PROT_READ | PROT_WRITE) == 0;
+}
+
+size_t SignalFrameHeadroom() {
+  // The host kernel's own advisory for the stack space an rt_sigframe needs (AT_MINSIGSTKSZ
+  // covers the full xsave area — AVX-512 hosts report ~12 KiB where the classic constant
+  // says 2 KiB). Used to decide when a thread running near its commit watermark must be
+  // fully committed before it may be resumed.
+  static const size_t headroom = [] {
+    const unsigned long v = ::getauxval(AT_MINSIGSTKSZ);
+    const size_t floor = 2 * PageSize();
+    return v > floor ? static_cast<size_t>(v) : floor;
+  }();
+  return headroom;
 }
 
 void UnmapStack(void* usable_base, size_t mapped_size) {

@@ -69,8 +69,33 @@ int LastPollTimeoutMs();
 
 // Maps a thread stack with an inaccessible guard page at the low end; returns the *usable*
 // base (just above the guard) or nullptr. usable_size is rounded up to the page size.
+//
+// In the default lazy mode the usable range is reserved PROT_NONE (MAP_NORESERVE) and only
+// the top FSUP_STACK_COMMIT bytes are committed up front; the rest commits on demand from
+// the SIGSEGV handler (CommitStackRange). Either mode costs exactly one counted mmap plus
+// one counted mprotect, so fault-injection ordinals and replay logs are mode-independent.
 void* MapStack(size_t usable_size, size_t* mapped_size_out);
 void UnmapStack(void* usable_base, size_t mapped_size);
+
+// Stack-mapping configuration, cached from the environment (FSUP_STACK_LAZY, default on;
+// FSUP_STACK_COMMIT, initial commit bytes, default one page). RefreshStackConfig re-reads the
+// environment; kernel init calls it so pt_reinit picks up per-test overrides.
+void RefreshStackConfig();
+bool StackLazy();
+size_t StackInitialCommit();
+
+// Commits the whole usable range of a lazily reserved stack (RW pages cost RSS only when
+// touched, and partial commits leave a band where UNIX signal-frame delivery can fail — see
+// the implementation). Raw, uncounted, uninjected mprotect: it runs inside the SIGSEGV
+// handler, where a counted call would shift every later fault-injection ordinal and
+// divergence-check replay logs recorded without the fault. Returns false if addr is outside
+// the usable range or the host refuses the commit (the fault is then a real error, not
+// demand paging).
+bool CommitStackRange(void* usable_base, size_t mapped_size, const void* fault_addr);
+
+// Stack bytes the host kernel needs below the interrupted SP to push a signal frame
+// (AT_MINSIGSTKSZ, floored at two pages).
+size_t SignalFrameHeadroom();
 
 // True if addr falls inside the guard page of the given stack mapping.
 bool InGuardPage(const void* addr, const void* usable_base);

@@ -32,6 +32,9 @@ void SwitchTo(Tcb* next) {
   // The paper swaps UNIX's global error number with the thread's on every switch.
   cur->err_no = errno;
 
+  // Metrics fire before the state mutation so the epoch-lazy reset can still read the state
+  // `next` held since enable time.
+  debug::metrics::OnSwitch(cur, next);
   next->state = ThreadState::kRunning;
   next->block_reason = BlockReason::kNone;
   ++next->switches_in;
@@ -39,8 +42,8 @@ void SwitchTo(Tcb* next) {
   k.current = next;
   debug::replay::OnSwitch(cur->id, next->id);
   debug::trace::OnSwitch(cur->id, next->id);
-  debug::metrics::OnSwitch(cur, next);
 
+  StackPool::EnsureSignalHeadroom(next);
   sig::OnDispatch(next);
 
   if (next->interrupted_by_signal) {
@@ -119,10 +122,10 @@ void DispatchKeepKernel() {
     if (cur->state == ThreadState::kRunning) {
       // The running thread stays unless a strictly higher-priority thread is ready.
       if (k.ready.TopPrio() > cur->prio) {
+        debug::metrics::OnStateChange(cur, ThreadState::kReady);
         cur->state = ThreadState::kReady;
         k.ready.PushFront(cur);  // preempted: head of its level, it did not consume its turn
         ++k.preemptions;
-        debug::metrics::OnStateChange(cur, ThreadState::kReady);
         debug::metrics::MarkPreemption();
         next = k.ready.PopHighest();
       } else {
@@ -148,9 +151,9 @@ void DispatchKeepKernel() {
       }
       if (next == cur) {
         // The current thread yielded / was requeued and won selection again.
+        debug::metrics::OnStateChange(cur, ThreadState::kRunning);
         cur->state = ThreadState::kRunning;
         cur->block_reason = BlockReason::kNone;
-        debug::metrics::OnStateChange(cur, ThreadState::kRunning);
         sig::OnDispatch(cur);
         return;
       }

@@ -134,9 +134,9 @@ void MakeReady(Tcb* t, bool front) {
   }
   // t may be the current thread: a blocked thread with no runnable peer idles on its own
   // stack inside the dispatcher, and its own timer/IO wakeup re-readies it.
+  debug::metrics::OnStateChange(t, ThreadState::kReady);
   t->state = ThreadState::kReady;
   t->block_reason = BlockReason::kNone;
-  debug::metrics::OnStateChange(t, ThreadState::kReady);
   if (front) {
     k.ready.PushFront(t);
   } else {
@@ -153,12 +153,12 @@ void Suspend(BlockReason reason) {
   FSUP_ASSERT(k.in_kernel != 0);
   Tcb* self = k.current;
   FSUP_ASSERT(self->state == ThreadState::kRunning);
+  debug::metrics::OnStateChange(self, ThreadState::kBlocked);
   self->state = ThreadState::kBlocked;
   self->block_reason = reason;
   if (reason == BlockReason::kSigwait) {
     ++k.sigwait_blocked;  // paired with the decrement in MakeReady
   }
-  debug::metrics::OnStateChange(self, ThreadState::kBlocked);
   DispatchKeepKernel();
   // Resumed: made ready by a waker and selected by the dispatcher. Still in the kernel.
   FSUP_ASSERT(k.current == self);
@@ -169,8 +169,8 @@ void Yield() {
   KernelState& k = ks();
   FSUP_ASSERT(k.in_kernel != 0);
   Tcb* self = k.current;
-  self->state = ThreadState::kReady;
   debug::metrics::OnStateChange(self, ThreadState::kReady);
+  self->state = ThreadState::kReady;
   k.ready.PushBack(self);
   DispatchKeepKernel();
 }
@@ -206,6 +206,7 @@ void ReapZombies() {
   while ((z = k.zombies.PopFront()) != nullptr) {
     FSUP_ASSERT(z != k.current);
     z->all_link.Unlink();
+    sig::NoteThreadUnlinked(z);
     sig::ForgetThread(z);
     k.pool->Free(z);
   }
@@ -215,8 +216,8 @@ void TerminateCurrent() {
   KernelState& k = ks();
   FSUP_ASSERT(k.in_kernel != 0);
   Tcb* self = k.current;
+  // The caller fired the kTerminated state hook before mutating self->state.
   FSUP_ASSERT(self->state == ThreadState::kTerminated);
-  debug::metrics::OnStateChange(self, ThreadState::kTerminated);
   FSUP_CHECK(k.live_threads > 0);
   --k.live_threads;
   if (k.live_threads == 0) {

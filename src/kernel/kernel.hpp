@@ -86,6 +86,13 @@ struct KernelState {
   uint32_t sigwait_blocked = 0;     // threads currently suspended in sigwait
   uint32_t handlers_installed = 0;  // virtual dispositions with a user handler function
 
+  // Linked threads whose sigmask blocks at least one signal. Maintained by the
+  // sig::NoteSigmaskSet funnel (every sigmask write goes through it) and decremented when a
+  // masked thread is unlinked from all_threads. Zero means every live thread takes any
+  // signal, so recipient-selection step 5 picks the first live thread without probing a
+  // million per-thread masks.
+  uint32_t masked_threads = 0;
+
   bool initialized = false;
 
   // -- statistics (observability for tests and benches) -----------------------------------
@@ -120,6 +127,9 @@ inline void Enter() {
   }
   KernelState& k = ks();
   FSUP_ASSERT(k.in_kernel == 0);
+  // Entering a never-initialized kernel means a public entry point forgot EnsureInit — the
+  // monitor "works" until Exit dispatches over a null current thread.
+  FSUP_ASSERT(k.initialized);
   k.in_kernel = 1;
   ++k.kernel_entries;
 }

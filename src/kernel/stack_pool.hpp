@@ -3,19 +3,36 @@
 // The paper: "Thread creation/termination involves allocation/deallocation of heap space which
 // sporadically may result in kernel calls to sbrk. This could be avoided in most cases by
 // preallocating a pool of thread control blocks and stacks" — and its Table 2 creation metric
-// is measured with the pool warm. This module is that pool: default-size stacks are recycled on
-// a free list (mmap'd once, guard page intact); odd-size requests bypass the pool.
+// is measured with the pool warm. This module is that pool, grown for million-thread working
+// sets: stacks are recycled on power-of-two size-class free lists under a bytes-based budget
+// (odd sizes bypass the pool), TCBs come from a growable slab allocator, and a sorted registry
+// of live stacks lets the SIGSEGV handler classify a fault — lazy-commit demand paging versus
+// guard-page overflow — in O(log n) instead of walking every thread.
 
 #ifndef FSUP_SRC_KERNEL_STACK_POOL_HPP_
 #define FSUP_SRC_KERNEL_STACK_POOL_HPP_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 
 #include "src/kernel/tcb.hpp"
 #include "src/util/fixed_pool.hpp"
 
 namespace fsup {
+
+// Classification of a synchronous fault address against the pool's live stacks.
+struct StackFaultInfo {
+  enum class Kind {
+    kNone,        // not a live stack address this registry knows about
+    kCommitted,   // lazy-commit fault: pages committed, retry the faulting instruction
+    kOverflow,    // guard page hit: genuine stack overflow, `thread` names the victim
+    kUnavailable  // registry mid-mutation; caller must fall back to a linear scan
+  };
+  Kind kind = Kind::kNone;
+  Tcb* thread = nullptr;
+};
 
 class StackPool {
  public:
@@ -34,37 +51,88 @@ class StackPool {
   Tcb* AllocateNoStack();
 
   // Attaches a stack to a TCB created with AllocateNoStack. On mmap failure (exhaustion,
-  // injected fault) falls back to retrying the freelist before giving up; false only when
-  // both sources are dry, with no pool state leaked. errno is left as the map failure set it.
+  // injected fault) falls back to retrying the request's size-class free list before giving
+  // up; false only when both sources are dry, with no pool state leaked. errno is left as the
+  // map failure set it.
   bool AttachStack(Tcb* t, size_t stack_size);
 
   // Destroys and recycles a TCB + stack obtained from Allocate().
   void Free(Tcb* t);
+
+  // Classifies a synchronous fault address. Async-signal-safe: consults the current thread's
+  // own stack first (no locks), then the sorted live-stack registry unless a mutation is in
+  // flight (kUnavailable → the handler degrades to its linear scan). Lazy-commit faults are
+  // resolved in place via hostos::CommitStackRange before returning kCommitted.
+  StackFaultInfo ClassifyStackFault(const void* addr, Tcb* current);
+
+  // Commits t's stack if `addr` is a lazy, not-yet-committed stack page of t. Shared by
+  // ClassifyStackFault and the handler's registry-busy fallback scan.
+  static bool CommitFaultOnThread(const void* addr, Tcb* t);
+
+  // Called by the dispatcher before resuming t: if t's saved SP is within the host's
+  // signal-frame headroom of the commit watermark, commit the rest of the reservation so a
+  // kernel-pushed signal frame cannot land on PROT_NONE pages (which would drop the signal).
+  static void EnsureSignalHeadroom(Tcb* t);
 
   // True if `addr` lies in the guard page of any pooled or live stack this pool issued whose
   // usable base is `stack_base`.
   static bool AddrInGuard(const void* addr, const Tcb* t);
 
   size_t pooled_stacks() const { return free_count_; }
+  size_t pooled_bytes() const { return free_bytes_; }
+  size_t pool_budget_bytes() const { return budget_bytes_; }
   uint64_t stack_reuses() const { return stack_reuses_; }
   uint64_t stack_maps() const { return stack_maps_; }
   uint64_t alloc_failures() const { return alloc_failures_; }
+  uint64_t lazy_commits() const { return lazy_commits_; }
+  size_t live_registered() const { return live_.size(); }
+
+  // Size-class geometry, exposed for tests: pooled iff the page-rounded usable size is an
+  // exact power of two within [kMinStackSize, kMaxPooledStackSize]; anything else bypasses
+  // the free lists and is mapped/unmapped directly.
+  static constexpr size_t kMaxPooledStackSize = 8u << 20;
+  static int ClassIndex(size_t usable_size);
 
  private:
+  // Free-list node, placed at the TOP of the recycled stack: with lazy commit the base pages
+  // may be PROT_NONE, but the top page is always committed (MapStack's initial commit covers
+  // it and every thread ran there). commit_lo preserves the previous tenant's commit
+  // watermark so a recycled stack keeps its warm pages without re-faulting.
   struct FreeStack {
     FreeStack* next;
     size_t mapped_size;
+    char* commit_lo;
   };
 
-  void* TakePooledStack(size_t* size_out);
+  struct LiveStack {
+    size_t mapped_size;
+    Tcb* owner;
+  };
+
+  static constexpr int kNumClasses = 10;  // kMinStackSize .. kMaxPooledStackSize, pow2 steps
+
+  void* TakePooledStack(int cls, size_t* size_out, char** commit_lo_out);
+  void PushFree(void* usable_base, size_t mapped, char* commit_lo);
+  void EvictOverBudget();
+  void RegisterLive(Tcb* t);
+  void UnregisterLive(Tcb* t);
 
   FixedPool<Tcb> tcb_pool_;
-  FreeStack* free_head_ = nullptr;
+  FreeStack* free_heads_[kNumClasses] = {};
   size_t free_count_ = 0;
+  size_t free_bytes_ = 0;    // mapped (reserved) bytes across all free lists
+  size_t budget_bytes_ = 0;  // FSUP_STACK_POOL_BYTES; eviction is largest-first
   size_t precache_target_;
   uint64_t stack_reuses_ = 0;
   uint64_t stack_maps_ = 0;
   uint64_t alloc_failures_ = 0;  // AttachStack exhausted both mmap and the freelist
+  uint64_t lazy_commits_ = 0;    // demand-commit faults resolved by the SIGSEGV handler
+
+  // Live stacks ordered by usable base. Mutated only inside the kernel monitor; the busy flag
+  // (with signal fences) lets the handler detect the impossible-in-theory mid-mutation fault
+  // and degrade safely instead of walking a broken tree.
+  std::map<const char*, LiveStack> live_;
+  std::atomic<int> registry_busy_{0};
 };
 
 }  // namespace fsup

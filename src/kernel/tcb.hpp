@@ -71,6 +71,10 @@ struct TcbMetrics {
   int64_t blocked_ns = 0;
   int64_t state_since_ns = 0;  // ...clocked from this stamp (0 = not yet stamped)
   uint8_t acct_state = 0;      // ThreadState the open interval belongs to
+  // Lazy-reset generation: metrics::Enable bumps a global epoch instead of walking every
+  // thread; a hook that finds a stale epoch zeroes this struct first (O(1) enable at any
+  // thread count).
+  uint32_t epoch = 0;
 };
 
 struct Tcb {
@@ -106,6 +110,11 @@ struct Tcb {
   void* stack_base = nullptr;  // usable low address (guard page below)
   size_t stack_size = 0;
   bool stack_pooled = false;
+  // Lowest committed address of a lazily mapped stack (== stack_base once fully committed,
+  // or for eager stacks). The SIGSEGV handler treats faults below this watermark as demand
+  // paging and faults at or above it as real errors — which also guarantees the
+  // commit-retry loop terminates.
+  char* stack_commit_lo = nullptr;
 
   ThreadEntry entry = nullptr;
   void* entry_arg = nullptr;

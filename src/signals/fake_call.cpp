@@ -57,7 +57,7 @@ void UserHandlerTramp(void* argp) {
   errno = saved_errno;  // step 4
 
   kernel::Enter();  // step 5: restore the mask and deliver what it was hiding
-  self->sigmask = rec->saved_mask;
+  NoteSigmaskSet(self, rec->saved_mask);
   rec->in_use = false;
   CheckPendingAfterUnmask(self);
   kernel::Exit();
@@ -98,7 +98,7 @@ void InstallOnThread(Tcb* t, void (*tramp)(void*), FakeRec* rec) {
     // The deferred stack cannot be allocated, so there is no frame to doctor. Undo the
     // record and leave the signal pending on the thread: activation re-examines pending
     // signals, so nothing is lost — only delayed, like a masked signal.
-    t->sigmask = rec->saved_mask;
+    NoteSigmaskSet(t, rec->saved_mask);
     t->pending |= SigBit(rec->signo);
     rec->in_use = false;
     return;
@@ -159,7 +159,7 @@ void FakeCallUserHandler(Tcb* t, int signo, const VSigAction& action) {
   rec->handler = action.handler;
   rec->saved_mask = t->sigmask;
   // During the handler: the sigaction mask plus the delivered signal are blocked.
-  t->sigmask |= action.mask | SigBit(signo);
+  NoteSigmaskSet(t, t->sigmask | action.mask | SigBit(signo));
   ++t->signals_taken;
   debug::trace::Log(debug::trace::Event::kSignal, t->id, static_cast<uint32_t>(signo));
   debug::metrics::OnSignalDelivered(t);
@@ -220,7 +220,7 @@ void RunSelfHandlers() {
     errno = saved_errno;
 
     kernel::Enter();
-    self->sigmask = rec->saved_mask;
+    NoteSigmaskSet(self, rec->saved_mask);
     rec->in_use = false;
     CheckPendingAfterUnmask(self);
     kernel::Exit();

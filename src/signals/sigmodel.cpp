@@ -117,19 +117,55 @@ void DeliverToProcess(int signo, Cause cause, Tcb* hint) {
       break;
   }
 
-  // Step 5: linear search of all threads for one with the signal unmasked.
-  for (Tcb* t : k.all_threads) {
-    if (t->state == ThreadState::kTerminated) {
-      continue;
+  // Step 5: find a thread with the signal unmasked. Fast path: the masked-thread counter
+  // says no linked thread blocks anything, so the first live thread (almost always main, at
+  // the head of the list) is eligible without probing a million per-thread masks.
+  if (k.masked_threads == 0) {
+    for (Tcb* t : k.all_threads) {
+      if (t->state != ThreadState::kTerminated) {
+        DeliverToThread(t, signo);
+        return;
+      }
     }
-    if ((EffectiveMask(t) & bit) == 0) {
-      DeliverToThread(t, signo);
-      return;
+  } else {
+    for (Tcb* t : k.all_threads) {
+      if (t->state == ThreadState::kTerminated) {
+        continue;
+      }
+      if ((EffectiveMask(t) & bit) == 0) {
+        DeliverToThread(t, signo);
+        return;
+      }
     }
   }
 
   // Step 6: pend the signal at the process level until a thread becomes eligible.
   k.process_pending |= bit;
+}
+
+void NoteSigmaskSet(Tcb* t, SigSet mask) {
+  KernelState& k = kernel::ks();
+  const bool was_masked = t->sigmask != 0;
+  const bool now_masked = mask != 0;
+  t->sigmask = mask;
+  if (was_masked == now_masked) {
+    return;
+  }
+  if (now_masked) {
+    ++k.masked_threads;
+  } else {
+    FSUP_ASSERT(k.masked_threads > 0);
+    --k.masked_threads;
+  }
+}
+
+void NoteThreadUnlinked(Tcb* t) {
+  if (t->sigmask != 0) {
+    KernelState& k = kernel::ks();
+    FSUP_ASSERT(k.masked_threads > 0);
+    --k.masked_threads;
+    t->sigmask = 0;  // the slot is leaving the census; a recycled TCB starts unmasked
+  }
 }
 
 void CheckPendingAfterUnmask(Tcb* t) {

@@ -53,6 +53,17 @@ void DeliverToThread(Tcb* t, int signo);
 // return, sigwait re-mask) and delivers anything now deliverable.
 void CheckPendingAfterUnmask(Tcb* t);
 
+// The one funnel through which every t->sigmask write flows: keeps the masked-thread counter
+// (recipient step 5's O(1) fast path) in step with the masks. Call with the kernel entered,
+// or from a signal handler running with every OS signal blocked — anywhere an interrupting
+// handler could itself reach this funnel mid-update would corrupt the counter.
+void NoteSigmaskSet(Tcb* t, SigSet mask);
+
+// Counter bookkeeping for a thread leaving all_threads (reap paths): a terminated thread
+// keeps its everything-masked sigmask until the TCB is recycled, and must stop counting
+// against the fast path the moment it is unlinked.
+void NoteThreadUnlinked(Tcb* t);
+
 // Replays signals the universal handler logged while the kernel flag was set.
 void HandleDeferred(SigSet set);
 

@@ -155,8 +155,8 @@ void TickImpl(bool forced, uint32_t forced_expired, bool forced_slice) {
     Tcb* cur = k.current;
     if (cur != nullptr && cur->state == ThreadState::kRunning &&
         cur->policy == SchedPolicy::kRr && !k.ready.empty()) {
-      cur->state = ThreadState::kReady;
       debug::metrics::OnStateChange(cur, ThreadState::kReady);
+      cur->state = ThreadState::kReady;
       debug::metrics::MarkPreemption();  // losing the slice is a preemption, not a yield
       k.ready.PushBack(cur);
       k.dispatch_pending = 1;

@@ -118,31 +118,80 @@ void SyncHandler(int signo, siginfo_t* info, void* ucv) {
 
   KernelState& k = kernel::ks();
 
-  // Stack overflow detection: a fault in some thread's guard page. Runs on the alternate
-  // signal stack (SA_ONSTACK), so it works even though the faulting thread has no usable
-  // stack left.
-  if (signo == SIGSEGV && info != nullptr) {
-    for (Tcb* t : k.all_threads) {
-      if (StackPool::AddrInGuard(info->si_addr, t)) {
-        debug::trace::Log(debug::trace::Event::kOverflow, t->id,
-                          static_cast<uint32_t>(t->stack_size));
-        log::RawWriteCstr("fsup fatal: stack overflow in thread ");
-        log::RawWriteInt(t->id);
-        if (t->name[0] != '\0') {
-          log::RawWriteCstr(" [");
-          log::RawWriteCstr(t->name);
-          log::RawWriteCstr("]");
+  // Stack fault classification: a SIGSEGV on a live thread stack is either demand paging (a
+  // lazily reserved page below the commit watermark — commit it and retry the instruction)
+  // or a guard-page hit (genuine overflow). The pool answers from its sorted live-stack
+  // registry in O(log n); only a mid-mutation fault degrades to the old linear scan. This
+  // runs on the alternate signal stack (SA_ONSTACK) and BEFORE the in-kernel fatal check:
+  // kernel code runs on thread stacks too, and a fake-call frame pushed onto a suspended
+  // thread's uncommitted page must demand-commit, not abort.
+  if (signo == SIGSEGV && info != nullptr && k.pool != nullptr) {
+    StackFaultInfo fi = k.pool->ClassifyStackFault(info->si_addr, k.current);
+    if (fi.kind == StackFaultInfo::Kind::kUnavailable) {
+      for (Tcb* t : k.all_threads) {
+        if (StackPool::AddrInGuard(info->si_addr, t)) {
+          fi = {StackFaultInfo::Kind::kOverflow, t};
+          break;
         }
-        log::RawWriteCstr(" (stack size ");
-        log::RawWriteInt(static_cast<int64_t>(t->stack_size));
-        log::RawWriteCstr(")\n");
-        debug::DumpThreads();
-        ::abort();
+        if (StackPool::CommitFaultOnThread(info->si_addr, t)) {
+          fi = {StackFaultInfo::Kind::kCommitted, t};
+          break;
+        }
       }
+    }
+    // Backstop: si_addr == nullptr with a partially committed current stack is the host
+    // kernel telling us it could not push a signal frame (or complete some other user-memory
+    // write) on the PROT_NONE tail — it force-delivers SIGSEGV with no fault address.
+    // Commit the rest of the stack and retry the interrupted instruction. A genuine null
+    // dereference is not swallowed: the second fault arrives with the stack fully committed
+    // and falls through to the fatal path.
+    if (fi.kind == StackFaultInfo::Kind::kNone && info->si_addr == nullptr &&
+        k.current != nullptr && k.current->stack_base != nullptr &&
+        k.current->stack_commit_lo != static_cast<char*>(k.current->stack_base) &&
+        StackPool::CommitFaultOnThread(k.current->stack_commit_lo - 1, k.current)) {
+      return;
+    }
+    if (fi.kind == StackFaultInfo::Kind::kCommitted) {
+      return;  // sigreturn re-executes the faulting instruction against committed pages
+    }
+    if (fi.kind == StackFaultInfo::Kind::kOverflow) {
+      Tcb* t = fi.thread;
+      debug::trace::Log(debug::trace::Event::kOverflow, t->id,
+                        static_cast<uint32_t>(t->stack_size));
+      log::RawWriteCstr("fsup fatal: stack overflow in thread ");
+      log::RawWriteInt(t->id);
+      if (t->name[0] != '\0') {
+        log::RawWriteCstr(" [");
+        log::RawWriteCstr(t->name);
+        log::RawWriteCstr("]");
+      }
+      log::RawWriteCstr(" (stack size ");
+      log::RawWriteInt(static_cast<int64_t>(t->stack_size));
+      log::RawWriteCstr(")\n");
+      debug::DumpThreads();
+      ::abort();
     }
   }
 
   if (k.in_kernel != 0) {
+    if (info != nullptr) {
+      log::RawWriteCstr("fsup: sync fault sig=");
+      log::RawWriteInt(signo);
+      log::RawWriteCstr(" addr=");
+      log::RawWriteHex(reinterpret_cast<uint64_t>(info->si_addr));
+      log::RawWriteCstr(" pc=");
+      log::RawWriteHex(static_cast<uint64_t>(uc->uc_mcontext.gregs[REG_RIP]));
+      if (k.current != nullptr && k.current->stack_base != nullptr) {
+        log::RawWriteCstr(" cur_stack=[");
+        log::RawWriteHex(reinterpret_cast<uint64_t>(k.current->stack_base));
+        log::RawWriteCstr(",");
+        log::RawWriteHex(reinterpret_cast<uint64_t>(k.current->stack_base) +
+                         k.current->stack_size);
+        log::RawWriteCstr(") commit_lo=");
+        log::RawWriteHex(reinterpret_cast<uint64_t>(k.current->stack_commit_lo));
+      }
+      log::RawWriteCstr("\n");
+    }
     debug::DumpThreads();
     FatalError("synchronous fault inside the Pthreads kernel", __FILE__, __LINE__);
   }
@@ -154,11 +203,14 @@ void SyncHandler(int signo, siginfo_t* info, void* ucv) {
   if (a.installed && a.handler != nullptr) {
     Tcb* self = k.current;
     const SigSet saved = self->sigmask;
-    self->sigmask |= a.mask | SigBit(signo);
+    // Not in the kernel here, but the funnel is safe: this handler runs with every OS
+    // signal blocked (sa_mask is the full set), so nothing can interleave with the
+    // masked-thread counter update.
+    NoteSigmaskSet(self, saved | a.mask | SigBit(signo));
     ++self->signals_taken;
     debug::metrics::OnSignalDelivered(self);
     a.handler(signo);
-    self->sigmask = saved;
+    NoteSigmaskSet(self, saved);
     ApplyRedirectIfAny();
     return;
   }

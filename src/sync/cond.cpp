@@ -39,6 +39,30 @@ void BoostAfterRequeue(Mutex* m) {
   }
 }
 
+// A broadcast may requeue waiters onto a mutex nobody holds. Waiters queued on an unlocked
+// mutex are only ever popped by an unlock — if no thread locks it again, the queue is
+// orphaned and the waiters hang until the idle loop's deadlock abort. Do what UnlockInKernel
+// would have done: hand the mutex to the top waiter immediately (the woken thread finds
+// holder() == self in CondWait and runs CompleteHandoff). Callers skip this when the first
+// woken waiter contends for the same mutex — it is awake and will lock and later unlock it,
+// draining the queue through the normal handoff path with its priority claim intact.
+void HandoffIfUnlocked(Mutex* m) {
+  if (m->lock_word != 0) {
+    return;
+  }
+  Tcb* next = m->waiters.PopHighest();
+  if (next == nullptr) {
+    m->has_waiters = 0;
+    return;
+  }
+  if (m->waiters.empty()) {
+    m->has_waiters = 0;
+  }
+  m->lock_word = 1;
+  m->owner = next;
+  kernel::MakeReady(next);
+}
+
 }  // namespace
 
 int CondInit(Cond* c) {
@@ -53,6 +77,10 @@ int CondInit(Cond* c) {
 }
 
 int CondDestroy(Cond* c) {
+  // A destroy really can be the first library call (a global object torn down by a program
+  // that never spawned a thread): Enter() on an uninitialized kernel would trip its monitor
+  // invariants, so initialize like every other public entry point.
+  kernel::EnsureInit();
   if (c == nullptr || c->magic != kCondMagic) {
     return EINVAL;
   }
@@ -197,6 +225,9 @@ int CondBroadcast(Cond* c) {
                                [&](Tcb* w) { MarkRequeued(c, w, target); });
       target->has_waiters = 1;
       BoostAfterRequeue(target);
+      if (first->cond_mutex != target) {
+        HandoffIfUnlocked(target);
+      }
     } else {
       Tcb* w;
       while ((w = c->waiters.PopHighest()) != nullptr) {
@@ -204,6 +235,9 @@ int CondBroadcast(Cond* c) {
         MarkRequeued(c, w, m);
         InsertWaiter(m, w);
         BoostAfterRequeue(m);
+        if (first->cond_mutex != m) {
+          HandoffIfUnlocked(m);
+        }
       }
     }
     debug::trace::Log(debug::trace::Event::kCondRequeue, moved, c->tag);

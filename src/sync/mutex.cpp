@@ -97,6 +97,7 @@ int MutexInit(Mutex* m, const MutexAttr* attr) {
 }
 
 int MutexDestroy(Mutex* m) {
+  kernel::EnsureInit();  // destroy can legitimately be the first library call — see CondDestroy
   if (m == nullptr || m->magic != kMutexMagic) {
     return EINVAL;
   }

@@ -1,10 +1,11 @@
-// Fixed-capacity object pool with a free list.
+// Growable slab-backed object pool with a free list.
 //
 // The paper measures that ~70% of thread-creation time on SunOS was heap allocation of the TCB
 // and stack, and removes it by pre-caching both in a memory pool. This pool is that mechanism
-// for TCBs (StackPool handles stacks, which need mmap + guard pages). Allocation falls back to
-// the heap only when the pool is exhausted, mirroring the paper's "dynamic memory allocation
-// would only be performed when the pool space is exhausted".
+// for TCBs (StackPool handles stacks, which need mmap + guard pages). When the free list is
+// exhausted the pool chains on another fixed-size slab (geometric growth) instead of degrading
+// to one-at-a-time heap allocation — a million TCBs cost ~20 slab allocations, every Get/Put
+// stays O(1), and FromSlab is a range check over the slab list.
 
 #ifndef FSUP_SRC_UTIL_FIXED_POOL_HPP_
 #define FSUP_SRC_UTIL_FIXED_POOL_HPP_
@@ -32,61 +33,76 @@ class FixedPool {
 
   // Pre-allocates `capacity` slots. May be called once, before any Get().
   void Reserve(size_t capacity) {
-    FSUP_CHECK(slab_ == nullptr);
-    capacity_ = capacity;
-    if (capacity_ == 0) {
+    FSUP_CHECK(slabs_.empty());
+    if (capacity == 0) {
       return;
     }
-    slab_.reset(new Slot[capacity_]);
-    free_.reserve(capacity_);
-    for (size_t i = 0; i < capacity_; ++i) {
-      free_.push_back(&slab_[capacity_ - 1 - i]);
-    }
+    Grow(capacity);
   }
 
   // Returns raw storage for a T; the caller placement-news into it.
   void* Get() {
     ++outstanding_;
-    if (!free_.empty()) {
-      Slot* s = free_.back();
-      free_.pop_back();
+    if (free_.empty()) {
+      // A free-list miss is the event the paper's pre-cache argument counts: the reserve was
+      // too small and we touch the allocator. Chain a new slab (doubling) so the miss is
+      // amortized O(1) rather than per-object.
+      ++heap_fallbacks_;
+      Grow(capacity_ == 0 ? 1 : capacity_);
+    } else {
       ++pool_hits_;
-      return s->bytes;
     }
-    ++heap_fallbacks_;
-    return ::operator new(sizeof(Slot), std::align_val_t(alignof(Slot)));
+    Slot* s = free_.back();
+    free_.pop_back();
+    return s->bytes;
   }
 
   // Returns storage obtained from Get(). The T must already be destroyed.
   void Put(void* p) {
     FSUP_CHECK(outstanding_ > 0);
     --outstanding_;
-    if (FromSlab(p)) {
-      free_.push_back(reinterpret_cast<Slot*>(p));
-      return;
-    }
-    ::operator delete(p, std::align_val_t(alignof(Slot)));
+    FSUP_CHECK_MSG(FromSlab(p), "Put of storage this pool never issued");
+    free_.push_back(reinterpret_cast<Slot*>(p));
   }
 
   size_t outstanding() const { return outstanding_; }
   size_t pool_hits() const { return pool_hits_; }
   size_t heap_fallbacks() const { return heap_fallbacks_; }
   size_t capacity() const { return capacity_; }
+  size_t slab_count() const { return slabs_.size(); }
 
  private:
   struct alignas(alignof(T)) Slot {
     unsigned char bytes[sizeof(T)];
   };
 
-  bool FromSlab(const void* p) const {
-    if (slab_ == nullptr) {
-      return false;
+  struct Slab {
+    std::unique_ptr<Slot[]> slots;
+    size_t count;
+  };
+
+  void Grow(size_t count) {
+    Slab slab{std::unique_ptr<Slot[]>(new Slot[count]), count};
+    free_.reserve(free_.size() + count);
+    // Filled in reverse so Get() hands out slots in ascending address order.
+    for (size_t i = 0; i < count; ++i) {
+      free_.push_back(&slab.slots[count - 1 - i]);
     }
-    const auto* s = reinterpret_cast<const Slot*>(p);
-    return s >= &slab_[0] && s < &slab_[capacity_];
+    capacity_ += count;
+    slabs_.push_back(std::move(slab));
   }
 
-  std::unique_ptr<Slot[]> slab_;
+  bool FromSlab(const void* p) const {
+    const auto* s = reinterpret_cast<const Slot*>(p);
+    for (const Slab& slab : slabs_) {
+      if (s >= &slab.slots[0] && s < &slab.slots[slab.count]) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<Slab> slabs_;
   std::vector<Slot*> free_;
   size_t capacity_ = 0;
   size_t outstanding_ = 0;

@@ -46,6 +46,18 @@ void RawWriteInt(int64_t value) {
   RawWrite(p, static_cast<size_t>(buf + sizeof(buf) - p));
 }
 
+void RawWriteHex(uint64_t value) {
+  char buf[18];
+  char* p = buf + sizeof(buf);
+  do {
+    *--p = "0123456789abcdef"[value & 0xf];
+    value >>= 4;
+  } while (value != 0);
+  *--p = 'x';
+  *--p = '0';
+  RawWrite(p, static_cast<size_t>(buf + sizeof(buf) - p));
+}
+
 void Write(const char* msg) {
   if (!g_enabled) {
     return;

@@ -26,6 +26,7 @@ void WriteInt(const char* msg, int64_t value);
 void RawWrite(const char* data, size_t len);
 void RawWriteCstr(const char* s);
 void RawWriteInt(int64_t value);
+void RawWriteHex(uint64_t value);  // 0x-prefixed, for addresses in fault diagnostics
 
 }  // namespace fsup::log
 

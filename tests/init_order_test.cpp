@@ -1,0 +1,48 @@
+// Regression: a destroy really can be the FIRST library call in a process. A program with a
+// statically-initialized mutex/cond that never spawns a thread still runs the destructors at
+// exit; MutexDestroy/CondDestroy used to call kernel::Enter() without EnsureInit, tripping
+// the monitor's invariants on a never-initialized kernel. This suite must live in its own
+// binary so nothing initializes the runtime before the first test body runs.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+
+#include "src/core/pthread.hpp"
+#include "src/sync/cond.hpp"
+#include "src/sync/mutex.hpp"
+
+namespace fsup {
+namespace {
+
+// Stand-ins for objects another translation unit initialized before ours ran: structurally
+// valid (magic set, no waiters) but the runtime has never been entered in this process.
+TEST(InitOrderTest, DestroyIsAValidFirstLibraryCall) {
+  pt_mutex_t m{};
+  m.magic = kMutexMagic;
+  EXPECT_EQ(0, pt_mutex_destroy(&m));
+  EXPECT_EQ(EINVAL, pt_mutex_destroy(&m));  // magic cleared: double destroy is caught
+
+  pt_cond_t c{};
+  c.magic = kCondMagic;
+  EXPECT_EQ(0, pt_cond_destroy(&c));
+  EXPECT_EQ(EINVAL, pt_cond_destroy(&c));
+}
+
+TEST(InitOrderTest, RuntimeIsFullyUsableAfterDestroyFirstInit) {
+  // The EnsureInit the destroy triggered must be the same full init every entry point gets.
+  pt_mutex_t m;
+  ASSERT_EQ(0, pt_mutex_init(&m));
+  ASSERT_EQ(0, pt_mutex_lock(&m));
+  ASSERT_EQ(0, pt_mutex_unlock(&m));
+  ASSERT_EQ(0, pt_mutex_destroy(&m));
+
+  pt_thread_t t;
+  ASSERT_EQ(0, pt_create(&t, nullptr, +[](void* p) -> void* { return p; }, &m));
+  void* ret = nullptr;
+  ASSERT_EQ(0, pt_join(t, &ret));
+  EXPECT_EQ(&m, ret);
+}
+
+}  // namespace
+}  // namespace fsup

@@ -393,5 +393,131 @@ TEST_F(SyncQueueTest, RequeuedWaiterCancellationRunsCleanupWithMutexHeld) {
   s.Destroy();
 }
 
+// ---------------------------------------------------------------------------------------
+// Requeue onto an UNLOCKED mutex (headline regression). Waiters parked on a mutex queue are
+// only ever popped by an unlock — but lockers of an unlocked mutex barge past the queue, so
+// if a broadcast requeues waiters onto a mutex nobody holds and nobody locks again, the
+// queue is orphaned and the process dies in the idle loop's deadlock abort. The broadcast
+// must synthesize the unlock handoff itself.
+// ---------------------------------------------------------------------------------------
+
+struct SplitShared {
+  pt_cond_t c;
+  pt_mutex_t ma, mb, mc;
+  int done = 0;
+  bool flag = false;
+
+  void Init() {
+    ASSERT_EQ(0, pt_cond_init(&c));
+    ASSERT_EQ(0, pt_mutex_init(&ma));
+    ASSERT_EQ(0, pt_mutex_init(&mb));
+    ASSERT_EQ(0, pt_mutex_init(&mc));
+  }
+  void Destroy() {
+    EXPECT_EQ(0, pt_cond_destroy(&c));
+    EXPECT_EQ(0, pt_mutex_destroy(&ma));
+    EXPECT_EQ(0, pt_mutex_destroy(&mb));
+    EXPECT_EQ(0, pt_mutex_destroy(&mc));
+  }
+};
+
+struct SplitArg {
+  SplitShared* s;
+  pt_mutex_t* m;  // this waiter's own mutex (concurrent waits through different mutexes)
+};
+
+void* SplitWaiter(void* ap) {
+  auto* a = static_cast<SplitArg*>(ap);
+  EXPECT_EQ(0, pt_mutex_lock(a->m));
+  while (!a->s->flag) {
+    EXPECT_EQ(0, pt_cond_wait(&a->s->c, a->m));
+  }
+  // Whichever path woke us (contention or direct handoff), the wait returns holding m.
+  EXPECT_EQ(pt_self(), a->m->holder());
+  ++a->s->done;
+  EXPECT_EQ(0, pt_mutex_unlock(a->m));
+  return nullptr;
+}
+
+TEST_F(SyncQueueTest, BroadcastRequeueOntoUnlockedMutexHandsOff) {
+  // Uniform requeue path: after the first (highest-priority) waiter is woken toward ma, the
+  // whole remainder of the cond queue shares mb — which is unlocked (its waiter released it
+  // inside cond_wait) and which no other thread ever locks or unlocks again. Without the
+  // broadcast-side handoff the mb waiter hangs forever and the join below deadlock-aborts.
+  SplitShared s;
+  s.Init();
+  SplitArg arg_hi{&s, &s.ma};
+  SplitArg arg_lo{&s, &s.mb};
+  pt_thread_t t_hi, t_lo;
+  ThreadAttr a_hi = MakeThreadAttr(kDefaultPrio + 2);
+  ThreadAttr a_lo = MakeThreadAttr(kDefaultPrio + 1);
+  ASSERT_EQ(0, pt_create(&t_hi, &a_hi, &SplitWaiter, &arg_hi));  // runs and blocks first
+  ASSERT_EQ(0, pt_create(&t_lo, &a_lo, &SplitWaiter, &arg_lo));
+  s.flag = true;
+  ASSERT_EQ(0, pt_cond_broadcast(&s.c));
+  ASSERT_EQ(0, pt_join(t_hi, nullptr));
+  ASSERT_EQ(0, pt_join(t_lo, nullptr));
+  EXPECT_EQ(2, s.done);
+  // Both mutexes came all the way back to unlocked.
+  EXPECT_EQ(0, pt_mutex_trylock(&s.ma));
+  EXPECT_EQ(0, pt_mutex_unlock(&s.ma));
+  EXPECT_EQ(0, pt_mutex_trylock(&s.mb));
+  EXPECT_EQ(0, pt_mutex_unlock(&s.mb));
+  s.Destroy();
+}
+
+TEST_F(SyncQueueTest, BroadcastRequeueOntoUnlockedMutexesNonUniform) {
+  // Non-uniform path: the remaining waiters split across mb and mc, so the broadcast walks
+  // them one by one — and must hand off EACH orphaned unlocked mutex, not just one target.
+  SplitShared s;
+  s.Init();
+  SplitArg arg_a{&s, &s.ma};
+  SplitArg arg_b{&s, &s.mb};
+  SplitArg arg_c{&s, &s.mc};
+  pt_thread_t ta, tb, tc;
+  ThreadAttr attr_a = MakeThreadAttr(kDefaultPrio + 3);
+  ThreadAttr attr_b = MakeThreadAttr(kDefaultPrio + 2);
+  ThreadAttr attr_c = MakeThreadAttr(kDefaultPrio + 1);
+  ASSERT_EQ(0, pt_create(&ta, &attr_a, &SplitWaiter, &arg_a));
+  ASSERT_EQ(0, pt_create(&tb, &attr_b, &SplitWaiter, &arg_b));
+  ASSERT_EQ(0, pt_create(&tc, &attr_c, &SplitWaiter, &arg_c));
+  s.flag = true;
+  ASSERT_EQ(0, pt_cond_broadcast(&s.c));
+  ASSERT_EQ(0, pt_join(ta, nullptr));
+  ASSERT_EQ(0, pt_join(tb, nullptr));
+  ASSERT_EQ(0, pt_join(tc, nullptr));
+  EXPECT_EQ(3, s.done);
+  s.Destroy();
+}
+
+TEST_F(SyncQueueTest, BroadcastRequeueSameUnlockedMutexNoDoubleOwner) {
+  // Guard-path regression: when the first-woken waiter contends the SAME unlocked mutex the
+  // rest were requeued onto, the broadcast must NOT hand the mutex to a queued waiter — the
+  // first waiter is awake, will barge-lock it, and drains the queue via its own unlocks. A
+  // premature handoff would give the lower-priority waiter the mutex over the runnable
+  // higher-priority one (or corrupt ownership outright).
+  OrderShared s;
+  s.Init();
+  OrderArg a1{&s, 1}, a2{&s, 2}, a3{&s, 3};
+  pt_thread_t t1, t2, t3;
+  ThreadAttr hi = MakeThreadAttr(kDefaultPrio + 3);
+  ThreadAttr mid = MakeThreadAttr(kDefaultPrio + 2);
+  ThreadAttr lo = MakeThreadAttr(kDefaultPrio + 1);
+  ASSERT_EQ(0, pt_create(&t1, &hi, &WaitAndRecord, &a1));
+  ASSERT_EQ(0, pt_create(&t2, &mid, &WaitAndRecord, &a2));
+  ASSERT_EQ(0, pt_create(&t3, &lo, &WaitAndRecord, &a3));
+  // Broadcast WITHOUT holding s.m: the mutex is unlocked at requeue time, and t1 (first
+  // woken, highest priority) is the thread that must win it first.
+  s.flag = true;
+  ASSERT_EQ(0, pt_cond_broadcast(&s.c));
+  ASSERT_EQ(0, pt_join(t1, nullptr));
+  ASSERT_EQ(0, pt_join(t2, nullptr));
+  ASSERT_EQ(0, pt_join(t3, nullptr));
+  EXPECT_EQ((std::vector<int>{1, 2, 3}), s.order);
+  EXPECT_EQ(0, pt_mutex_trylock(&s.m));
+  EXPECT_EQ(0, pt_mutex_unlock(&s.m));
+  s.Destroy();
+}
+
 }  // namespace
 }  // namespace fsup
