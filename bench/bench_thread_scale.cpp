@@ -156,6 +156,11 @@ WaveRow RunWave(int n, pt_thread_t* th, bool probe_population) {
       pt_yield();
     }
     row.yield_ns = static_cast<double>(NowNs() - y0) / yields;
+
+    // Capped dump at the wave peak: 8 thread rows + the "... and N more" footer instead of
+    // one line per parked worker. The cap is what makes a dump usable (and O(1)-ish) at this
+    // population — the uncapped form would print 64k+ rows here.
+    pt_metrics_dump(2, 8);
   }
 
   const int64_t t2 = NowNs();

@@ -18,6 +18,7 @@
 #include "src/debug/export.hpp"
 #include "src/debug/introspect.hpp"
 #include "src/debug/metrics.hpp"
+#include "src/debug/profiler.hpp"
 #include "src/debug/trace.hpp"
 #include "src/io/io.hpp"
 #include "src/libc/reentrant.hpp"
@@ -155,7 +156,7 @@ RuntimeStats pt_stats() {
   };
 }
 
-void pt_dump_threads() { debug::DumpThreads(); }
+void pt_dump_threads(uint32_t max_threads) { debug::DumpThreads(max_threads); }
 
 // -- observability ------------------------------------------------------------------------
 
@@ -169,7 +170,9 @@ debug::metrics::MetricsSnapshot pt_metrics_snapshot() {
   return snap;
 }
 
-int pt_metrics_dump(int fd) { return debug::metrics::DumpText(fd); }
+int pt_metrics_dump(int fd, uint32_t max_threads) {
+  return debug::metrics::DumpText(fd, max_threads);
+}
 
 int pt_trace_dump(const char* path) {
   if (path == nullptr || path[0] == '\0') {
@@ -181,6 +184,21 @@ int pt_trace_dump(const char* path) {
 void pt_trace_user(uint32_t a, uint32_t b) {
   debug::trace::Log(debug::trace::Event::kUser, a, b);
 }
+
+int pt_profile_start(int hz) { return debug::profiler::Start(hz); }
+
+int pt_profile_stop() { return debug::profiler::Stop(); }
+
+bool pt_profile_active() { return debug::profiler::Active(); }
+
+int pt_profile_dump(const char* path) {
+  if (path == nullptr || path[0] == '\0') {
+    return EINVAL;
+  }
+  return debug::profiler::Dump(path);
+}
+
+uint64_t pt_profile_samples() { return debug::profiler::SampleCount(); }
 
 // -- thread management --------------------------------------------------------------------
 

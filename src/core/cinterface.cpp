@@ -173,6 +173,16 @@ int fsup_metrics_dump(int fd) { return fsup::pt_metrics_dump(fd); }
 int fsup_trace_dump(const char* path) { return fsup::pt_trace_dump(path); }
 void fsup_trace_user(uint32_t a, uint32_t b) { fsup::pt_trace_user(a, b); }
 
+int fsup_profile_start(int hz) { return fsup::pt_profile_start(hz); }
+
+int fsup_profile_stop(void) { return fsup::pt_profile_stop(); }
+
+int fsup_profile_active(void) { return fsup::pt_profile_active() ? 1 : 0; }
+
+int fsup_profile_dump(const char* path) { return fsup::pt_profile_dump(path); }
+
+uint64_t fsup_profile_samples(void) { return fsup::pt_profile_samples(); }
+
 void fsup_replay_record_start(void) {
   fsup::pt_init();
   fsup::debug::replay::StartRecording();

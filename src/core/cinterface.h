@@ -91,6 +91,16 @@ int fsup_metrics_dump(int fd);
 int fsup_trace_dump(const char* path);
 void fsup_trace_user(uint32_t a, uint32_t b);
 
+/* Statistical on-/off-CPU profiler (also driven by FSUP_PROFILE / FSUP_PROFILE_HZ /
+ * FSUP_PROFILE_FILE / FSUP_STATS_SHM). hz <= 0 picks the default rate. fsup_profile_dump
+ * writes flamegraph.pl-compatible folded stacks plus <path>.offcpu and a <path>.maps
+ * symbolization sidecar. */
+int fsup_profile_start(int hz);
+int fsup_profile_stop(void);
+int fsup_profile_active(void);
+int fsup_profile_dump(const char* path);
+uint64_t fsup_profile_samples(void);
+
 /* Deterministic record/replay of scheduling decisions (also driven by the FSUP_RECORD and
  * FSUP_REPLAY environment variables; see DESIGN.md "Determinism and replay"). A recorded
  * schedule saved with fsup_replay_record_save can be re-executed bit-exactly by launching

@@ -84,8 +84,10 @@ void pt_reinit();
 // Statistics snapshot.
 RuntimeStats pt_stats();
 
-// Writes a table of all threads to stderr (signal safe).
-void pt_dump_threads();
+// Writes a table of threads to stderr (signal safe), followed by a kernel/pool/io counter
+// footer. max_threads caps the table (0 = all live threads; large-scale callers pass a small
+// cap and get a "... and N more" line instead of a million rows).
+void pt_dump_threads(uint32_t max_threads = 0);
 
 // ---------------------------------------------------------------------------------------
 // Observability: per-thread metrics and trace export (DESIGN.md "Observability")
@@ -102,8 +104,9 @@ bool pt_metrics_enabled();
 // histograms are zero/empty (empty histograms report percentile 0).
 debug::metrics::MetricsSnapshot pt_metrics_snapshot();
 
-// Writes a human-readable metrics report to fd. Returns 0 or an errno value.
-int pt_metrics_dump(int fd);
+// Writes a human-readable metrics report to fd. Returns 0 or an errno value. max_threads
+// caps the per-thread table, same contract as pt_dump_threads.
+int pt_metrics_dump(int fd, uint32_t max_threads = 0);
 
 // Writes the trace ring to `path` as Chrome trace_event JSON (loadable in Perfetto or
 // chrome://tracing). Returns 0 or an errno value. Also triggered at process exit by setting
@@ -113,6 +116,29 @@ int pt_trace_dump(const char* path);
 // Logs a caller-defined event into the trace ring (trace::Event::kUser) — lets application
 // milestones line up with scheduler events in an exported timeline.
 void pt_trace_user(uint32_t a, uint32_t b);
+
+// Statistical on-/off-CPU profiler (DESIGN.md "Profiling"). pt_profile_start arms a sampling
+// session at `hz` samples/s (<= 0 picks the default, 997 Hz): on-CPU stacks via SIGPROF —
+// or, under FSUP_RECORD/FSUP_REPLAY, deterministically from the timer tick — plus blocked-
+// time attribution per (stack × wait object) from the dispatcher. Returns 0, EBUSY if a
+// session is already active, or the errno of a failed host call. Also armed at init by the
+// FSUP_PROFILE / FSUP_PROFILE_HZ / FSUP_PROFILE_FILE / FSUP_STATS_SHM environment variables.
+int pt_profile_start(int hz);
+
+// Ends the session (joins the collector thread); aggregates survive for pt_profile_dump.
+// Returns 0 or EINVAL when no session is active.
+int pt_profile_stop();
+
+bool pt_profile_active();
+
+// Writes folded-stack profiles: <path> (on-CPU, flamegraph.pl-compatible "0xPC;0xPC count"),
+// <path>.offcpu (blocked microseconds, wait tag as leaf frame) and <path>.maps
+// (/proc/self/maps copy for offline symbolization). Returns 0 or an errno value.
+int pt_profile_dump(const char* path);
+
+// Cumulative committed samples this session (on-CPU + off-CPU). Deterministic across a
+// record→replay pair when tick sampling is in effect.
+uint64_t pt_profile_samples();
 
 // ---------------------------------------------------------------------------------------
 // Thread management

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/debug/profiler.hpp"
 #include "src/debug/trace.hpp"
 #include "src/kernel/kernel.hpp"
 
@@ -89,8 +90,17 @@ int TraceDumpJson(const char* path) {
   if (f == nullptr) {
     return errno != 0 ? errno : EIO;
   }
+  // Profiler counter points become Perfetto "C" counter tracks interleaved with the trace
+  // records (same clock — both stamp NowNs), so ready-queue depth and sampling rate line up
+  // under the scheduling slices.
+  profiler::CounterPoint counters[256];
+  const int ncounters = profiler::CounterSnapshot(counters, 256);
+
   const long pid = static_cast<long>(::getpid());
-  const int64_t t0 = recs.empty() ? 0 : recs.front().t_ns;
+  int64_t t0 = recs.empty() ? 0 : recs.front().t_ns;
+  if (ncounters > 0 && (recs.empty() || counters[0].t_ns < t0)) {
+    t0 = counters[0].t_ns;
+  }
 
   std::fputs("{\"traceEvents\":[\n", f);
   bool first = true;
@@ -154,6 +164,29 @@ int TraceDumpJson(const char* path) {
                    "{\"ph\":\"E\",\"pid\":%ld,\"tid\":%u,\"ts\":%.3f,"
                    "\"name\":\"running\",\"cat\":\"sched\"}",
                    pid, tid, ToUs(last_ns, t0));
+    }
+  }
+  // "C" counter tracks from the profiler's collector. samples holds the cumulative on-CPU
+  // sample count; the rate track is the delta over each collector interval.
+  for (int i = 0; i < ncounters; ++i) {
+    const profiler::CounterPoint& c = counters[i];
+    const double ts = ToUs(c.t_ns, t0);
+    auto counter = [&](const char* name, double value) {
+      sep();
+      std::fprintf(f,
+                   "{\"ph\":\"C\",\"pid\":%ld,\"ts\":%.3f,\"name\":\"%s\","
+                   "\"cat\":\"fsup\",\"args\":{\"value\":%.0f}}",
+                   pid, ts, name, value);
+    };
+    counter("live_threads", static_cast<double>(c.live_threads));
+    counter("ready_depth", static_cast<double>(c.ready_depth));
+    counter("stack_pool_mapped_bytes", static_cast<double>(c.pool_mapped_bytes));
+    if (i > 0) {
+      const int64_t dt_ns = c.t_ns - counters[i - 1].t_ns;
+      const uint64_t ds = c.samples - counters[i - 1].samples;
+      if (dt_ns > 0) {
+        counter("samples_per_s", static_cast<double>(ds) * 1e9 / static_cast<double>(dt_ns));
+      }
     }
   }
   std::fputs("\n]}\n", f);

@@ -1,21 +1,28 @@
 #include "src/debug/introspect.hpp"
 
 #include "src/debug/metrics.hpp"
+#include "src/io/io.hpp"
 #include "src/kernel/kernel.hpp"
+#include "src/kernel/stack_pool.hpp"
 #include "src/sync/cond.hpp"
 #include "src/sync/mutex.hpp"
 #include "src/util/log.hpp"
 
 namespace fsup::debug {
 
-void DumpThreads() {
+void DumpThreads(uint32_t max_threads) {
   KernelState& k = kernel::ks();
   if (!k.initialized) {
     log::RawWriteCstr("fsup: runtime not initialized\n");
     return;
   }
   log::RawWriteCstr("fsup threads:\n");
+  uint32_t shown = 0;
   for (Tcb* t : k.all_threads) {
+    if (max_threads != 0 && shown >= max_threads) {
+      break;  // the cap makes the dump O(max_threads), not O(live)
+    }
+    ++shown;
     log::RawWriteCstr("  #");
     log::RawWriteInt(t->id);
     log::RawWriteCstr(" ");
@@ -47,6 +54,10 @@ void DumpThreads() {
     log::RawWriteInt(static_cast<int64_t>(t->switches_in));
     log::RawWriteCstr(" sig=");
     log::RawWriteInt(static_cast<int64_t>(t->signals_taken));
+    if (t->metrics.stack_commits != 0) {
+      log::RawWriteCstr(" commits=");
+      log::RawWriteInt(static_cast<int64_t>(t->metrics.stack_commits));
+    }
     if (metrics::Enabled()) {
       const TcbMetrics& m = t->metrics;
       log::RawWriteCstr(" vol=");
@@ -66,6 +77,11 @@ void DumpThreads() {
     }
     log::RawWriteCstr("\n");
   }
+  if (k.live_threads > shown) {
+    log::RawWriteCstr("  ... and ");
+    log::RawWriteInt(static_cast<int64_t>(k.live_threads - shown));
+    log::RawWriteCstr(" more threads\n");
+  }
   log::RawWriteCstr("  ready=");
   log::RawWriteInt(static_cast<int64_t>(k.ready.size()));
   log::RawWriteCstr(" ctx_switches=");
@@ -76,6 +92,38 @@ void DumpThreads() {
   log::RawWriteInt(static_cast<int64_t>(k.preemptions));
   log::RawWriteCstr(" deferred_signals=");
   log::RawWriteInt(static_cast<int64_t>(k.deferred_signals));
+  log::RawWriteCstr("\n");
+  if (k.pool != nullptr) {
+    const StackPool& pool = *k.pool;
+    log::RawWriteCstr("  pool mapped_kb=");
+    log::RawWriteInt(static_cast<int64_t>(pool.mapped_bytes() / 1024));
+    log::RawWriteCstr(" hw_kb=");
+    log::RawWriteInt(static_cast<int64_t>(pool.mapped_hw_bytes() / 1024));
+    log::RawWriteCstr(" free=");
+    log::RawWriteInt(static_cast<int64_t>(pool.pooled_stacks()));
+    log::RawWriteCstr(" reuses=");
+    log::RawWriteInt(static_cast<int64_t>(pool.stack_reuses()));
+    log::RawWriteCstr(" maps=");
+    log::RawWriteInt(static_cast<int64_t>(pool.stack_maps()));
+    log::RawWriteCstr(" lazy_commits=");
+    log::RawWriteInt(static_cast<int64_t>(pool.lazy_commits()));
+    log::RawWriteCstr("\n");
+  }
+  const io::IoStats ios = io::GetStats();
+  log::RawWriteCstr("  io[");
+  log::RawWriteCstr(ios.epoll_backend ? "epoll" : "poll");
+  log::RawWriteCstr("] waits=");
+  log::RawWriteInt(static_cast<int64_t>(ios.waits));
+  log::RawWriteCstr(" wakeups=");
+  log::RawWriteInt(static_cast<int64_t>(ios.wakeups));
+  log::RawWriteCstr(" cache_hits=");
+  log::RawWriteInt(static_cast<int64_t>(ios.cache_hits));
+  log::RawWriteCstr(" cache_misses=");
+  log::RawWriteInt(static_cast<int64_t>(ios.cache_misses));
+  log::RawWriteCstr(" active_waiters=");
+  log::RawWriteInt(ios.active_waiters);
+  log::RawWriteCstr(" cached_fds=");
+  log::RawWriteInt(ios.cached_fds);
   log::RawWriteCstr("\n");
 }
 

@@ -9,7 +9,11 @@
 #include "src/arch/ras.hpp"
 #include "src/io/io.hpp"
 #include "src/kernel/kernel.hpp"
+#include "src/kernel/stack_pool.hpp"
 #include "src/util/dual_loop_timer.hpp"
+
+static_assert(fsup::debug::metrics::MetricsSnapshot::kPoolClasses == fsup::StackPool::kNumClasses,
+              "snapshot per-class array must match the pool's size-class count");
 
 namespace fsup::debug::metrics {
 namespace {
@@ -93,6 +97,7 @@ void FillThreadSnap(const Tcb* t, ThreadSnap* out) {
   out->preempted = t->metrics.preempted;
   out->fake_calls = t->metrics.fake_calls;
   out->mutex_blocks = t->metrics.mutex_blocks;
+  out->stack_commits = t->metrics.stack_commits;
   out->running_ns = t->metrics.running_ns;
   out->ready_ns = t->metrics.ready_ns;
   out->blocked_ns = t->metrics.blocked_ns;
@@ -191,6 +196,7 @@ void Capture(MetricsSnapshot* out) {
   KernelState& k = kernel::ks();
 
   out->enabled = Enabled();
+  out->live_threads = k.live_threads;
   out->ctx_switches = k.ctx_switches;
   out->dispatches = k.dispatches;
   out->preemptions = k.preemptions;
@@ -212,7 +218,25 @@ void Capture(MetricsSnapshot* out) {
   out->io_cache_misses = ios.cache_misses;
   out->io_demotions = ios.demotions;
   out->io_probes = ios.probes;
+  out->io_active_waiters = ios.active_waiters;
+  out->io_cached_fds = ios.cached_fds;
   out->io_epoll_backend = ios.epoll_backend;
+  const StackPool& pool = *k.pool;
+  out->pool_mapped_bytes = pool.mapped_bytes();
+  out->pool_mapped_hw_bytes = pool.mapped_hw_bytes();
+  out->pool_free_bytes = pool.pooled_bytes();
+  out->pool_budget_bytes = pool.pool_budget_bytes();
+  out->pool_free_stacks = pool.pooled_stacks();
+  out->stack_reuses = pool.stack_reuses();
+  out->stack_maps = pool.stack_maps();
+  out->stack_alloc_failures = pool.alloc_failures();
+  out->lazy_commits = pool.lazy_commits();
+  for (int c = 0; c < MetricsSnapshot::kPoolClasses; ++c) {
+    const StackPool::ClassStats cs = pool.class_stats(c);
+    out->pool_classes[c].hits = cs.hits;
+    out->pool_classes[c].misses = cs.misses;
+    out->pool_classes[c].evictions = cs.evictions;
+  }
   out->sched_latency = g_state.sched_latency;
   out->mutex_wait = g_state.mutex_wait;
   out->mutex_hold = g_state.mutex_hold;
@@ -244,11 +268,11 @@ void Capture(MetricsSnapshot* out) {
   }
 }
 
-int DumpText(int fd) {
+int DumpText(int fd, uint32_t max_threads) {
   MetricsSnapshot s;
   Capture(&s);
 
-  char buf[8192];
+  char buf[16384];
   int off = 0;
   auto emit = [&](const char* fmt, auto... args) {
     if (off < static_cast<int>(sizeof(buf))) {
@@ -278,14 +302,36 @@ int DumpText(int fd) {
        static_cast<unsigned long long>(s.timer_ticks),
        static_cast<unsigned long long>(s.idle_polls));
   emit("  io[%s] waits=%llu wakeups=%llu cache_hits=%llu cache_misses=%llu demotions=%llu "
-       "probes=%llu\n",
+       "probes=%llu active_waiters=%d cached_fds=%d\n",
        s.io_epoll_backend ? "epoll" : "poll",
        static_cast<unsigned long long>(s.io_waits),
        static_cast<unsigned long long>(s.io_wakeups),
        static_cast<unsigned long long>(s.io_cache_hits),
        static_cast<unsigned long long>(s.io_cache_misses),
        static_cast<unsigned long long>(s.io_demotions),
-       static_cast<unsigned long long>(s.io_probes));
+       static_cast<unsigned long long>(s.io_probes),
+       s.io_active_waiters, s.io_cached_fds);
+  emit("  pool mapped=%lluK (hw=%lluK) free=%lluK/%llu budget=%lluK reuses=%llu maps=%llu "
+       "alloc_failures=%llu lazy_commits=%llu\n",
+       static_cast<unsigned long long>(s.pool_mapped_bytes / 1024),
+       static_cast<unsigned long long>(s.pool_mapped_hw_bytes / 1024),
+       static_cast<unsigned long long>(s.pool_free_bytes / 1024),
+       static_cast<unsigned long long>(s.pool_free_stacks),
+       static_cast<unsigned long long>(s.pool_budget_bytes / 1024),
+       static_cast<unsigned long long>(s.stack_reuses),
+       static_cast<unsigned long long>(s.stack_maps),
+       static_cast<unsigned long long>(s.stack_alloc_failures),
+       static_cast<unsigned long long>(s.lazy_commits));
+  for (int c = 0; c < MetricsSnapshot::kPoolClasses; ++c) {
+    const auto& cs = s.pool_classes[c];
+    if (cs.hits == 0 && cs.misses == 0 && cs.evictions == 0) {
+      continue;  // only classes that saw traffic — ten all-zero rows are noise
+    }
+    emit("    class[%d] (%lluK): hits=%llu misses=%llu evictions=%llu\n", c,
+         static_cast<unsigned long long>((16ull << c)),  // kMinStackSize = 16 KiB, pow2 steps
+         static_cast<unsigned long long>(cs.hits), static_cast<unsigned long long>(cs.misses),
+         static_cast<unsigned long long>(cs.evictions));
+  }
 
   auto hist = [&](const char* label, const LatencyHist& h) {
     emit("  %-13s n=%-8llu mean=%-10.0f p50=%-8lld p95=%-8lld p99=%-8lld max=%lld (ns)\n",
@@ -298,18 +344,27 @@ int DumpText(int fd) {
   hist("mutex_wait", s.mutex_wait);
   hist("mutex_hold", s.mutex_hold);
 
-  emit("  %-4s %-15s %-10s %-9s %-9s %-9s %-10s %-10s %-10s\n", "id", "name", "switches",
-       "voluntary", "preempted", "mblocks", "run_us", "ready_us", "blocked_us");
-  for (uint32_t i = 0; i < s.thread_count; ++i) {
+  uint32_t rows = s.thread_count;
+  if (max_threads != 0 && max_threads < rows) {
+    rows = max_threads;
+  }
+  emit("  %-4s %-15s %-10s %-9s %-9s %-9s %-8s %-10s %-10s %-10s\n", "id", "name", "switches",
+       "voluntary", "preempted", "mblocks", "commits", "run_us", "ready_us", "blocked_us");
+  for (uint32_t i = 0; i < rows; ++i) {
     const ThreadSnap& t = s.threads[i];
-    emit("  %-4u %-15s %-10llu %-9llu %-9llu %-9llu %-10lld %-10lld %-10lld\n", t.id,
+    emit("  %-4u %-15s %-10llu %-9llu %-9llu %-9llu %-8llu %-10lld %-10lld %-10lld\n", t.id,
          t.name[0] != '\0' ? t.name : "-", static_cast<unsigned long long>(t.switches_in),
          static_cast<unsigned long long>(t.voluntary),
          static_cast<unsigned long long>(t.preempted),
          static_cast<unsigned long long>(t.mutex_blocks),
+         static_cast<unsigned long long>(t.stack_commits),
          static_cast<long long>(t.running_ns / 1000),
          static_cast<long long>(t.ready_ns / 1000),
          static_cast<long long>(t.blocked_ns / 1000));
+  }
+  if (s.live_threads > rows) {
+    emit("  ... and %llu more threads\n",
+         static_cast<unsigned long long>(s.live_threads - rows));
   }
 
   const char* p = buf;

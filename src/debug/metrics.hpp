@@ -112,6 +112,7 @@ struct ThreadSnap {
   uint64_t signals_taken = 0;  // user handlers run on this thread
   uint64_t fake_calls = 0;     // fake-call frames pushed onto / drained by this thread
   uint64_t mutex_blocks = 0;   // times it suspended on a mutex
+  uint64_t stack_commits = 0;  // SIGSEGV demand-commit faults grown on this thread's stack
   int64_t running_ns = 0;
   int64_t ready_ns = 0;
   int64_t blocked_ns = 0;
@@ -124,6 +125,7 @@ struct MetricsSnapshot {
   int64_t enabled_since_ns = 0;
 
   // Kernel totals (live regardless of the metrics flag — they predate this module).
+  uint64_t live_threads = 0;
   uint64_t ctx_switches = 0;
   uint64_t dispatches = 0;
   uint64_t preemptions = 0;
@@ -147,7 +149,27 @@ struct MetricsSnapshot {
   uint64_t io_cache_misses = 0;
   uint64_t io_demotions = 0;
   uint64_t io_probes = 0;
+  int32_t io_active_waiters = 0;
+  int32_t io_cached_fds = 0;
   bool io_epoll_backend = false;
+
+  // Stack pool (live regardless of the metrics flag — the pool keeps its own counters).
+  struct PoolClassSnap {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+  static constexpr int kPoolClasses = 10;  // == StackPool::kNumClasses (checked in metrics.cpp)
+  uint64_t pool_mapped_bytes = 0;     // live + free reservations
+  uint64_t pool_mapped_hw_bytes = 0;  // lifetime high-water of the above
+  uint64_t pool_free_bytes = 0;
+  uint64_t pool_budget_bytes = 0;
+  uint64_t pool_free_stacks = 0;
+  uint64_t stack_reuses = 0;
+  uint64_t stack_maps = 0;
+  uint64_t stack_alloc_failures = 0;
+  uint64_t lazy_commits = 0;
+  PoolClassSnap pool_classes[kPoolClasses];
 
   LatencyHist sched_latency;  // ready -> running
   LatencyHist mutex_wait;     // first contended block -> acquisition
@@ -163,8 +185,10 @@ struct MetricsSnapshot {
 void Capture(MetricsSnapshot* out);
 
 // Human-readable report (counters, percentiles, per-thread table) written to fd via plain
-// write(2). User context only (formats into a stack buffer; no allocation).
-int DumpText(int fd);
+// write(2). User context only (formats into a stack buffer; no allocation). max_threads
+// caps the per-thread table (0 = all live threads — unbounded output at a million-thread
+// population; large-scale callers pass a small cap and get a "... and N more" footer).
+int DumpText(int fd, uint32_t max_threads = 0);
 
 #ifndef FSUP_NO_METRICS
 

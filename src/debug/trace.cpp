@@ -138,6 +138,8 @@ const char* Name(Event e) {
       return "timer-tick";
     case Event::kCondRequeue:
       return "cond-requeue";
+    case Event::kStackCommit:
+      return "stack-commit";
   }
   return "?";
 }

@@ -61,7 +61,7 @@ constexpr NameEntry kCallNames[] = {
     {"sigaltstack", Call::kSigaltstack}, {"kill", Call::kKill},
     {"poll", Call::kPoll},
     {"epoll_create", Call::kEpollCreate}, {"epoll_ctl", Call::kEpollCtl},
-    {"epoll_wait", Call::kEpollWait},
+    {"epoll_wait", Call::kEpollWait},     {"shm", Call::kShmMap},
 };
 
 struct ErrnoEntry {

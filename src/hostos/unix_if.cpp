@@ -1,5 +1,6 @@
 #include "src/hostos/unix_if.hpp"
 
+#include <fcntl.h>
 #include <sys/auxv.h>
 #include <sys/mman.h>
 #include <sys/syscall.h>
@@ -177,6 +178,29 @@ int EpollPwait2(int epfd, struct epoll_event* events, int maxevents, int64_t tim
 }
 
 int LastPollTimeoutMs() { return g_last_poll_timeout_ms; }
+
+void* ShmMapStats(const char* path, size_t size) {
+  Bump(Call::kShmMap);
+  if (const int injected = fault::ShouldFail(Call::kShmMap); injected != 0) {
+    errno = injected;
+    return nullptr;
+  }
+  const int fd = ::open(path, O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return nullptr;
+  }
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return nullptr;
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  return addr == MAP_FAILED ? nullptr : addr;
+}
+
+void ShmUnmapStats(void* addr, size_t size) { ::munmap(addr, size); }
 
 size_t PageSize() {
   static const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));

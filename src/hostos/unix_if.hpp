@@ -32,6 +32,7 @@ enum class Call : int {
   kEpollCreate,
   kEpollCtl,
   kEpollWait,
+  kShmMap,
   kCount,
 };
 
@@ -66,6 +67,14 @@ int EpollPwait2(int epfd, struct epoll_event* events, int maxevents, int64_t tim
 // Telemetry for tests: the millisecond timeout handed to the most recent Poll (or ms-fallback
 // EpollPwait2) call. Pins the far-future-deadline clamp without racing real time.
 int LastPollTimeoutMs();
+
+// Creates-or-opens `path`, sizes it to `size` and maps it MAP_SHARED read-write — the
+// runtime side of the FSUP_STATS_SHM stats segment (tools/fsup_top maps the same file
+// read-only on its own, outside the library). One counted, fault-injectable composite call
+// (open + ftruncate + mmap; the fd is closed before returning — the mapping keeps the file
+// alive). Returns the mapping or nullptr with errno set.
+void* ShmMapStats(const char* path, size_t size);
+void ShmUnmapStats(void* addr, size_t size);
 
 // Maps a thread stack with an inaccessible guard page at the low end; returns the *usable*
 // base (just above the guard) or nullptr. usable_size is rounded up to the page size.

@@ -12,6 +12,7 @@
 #include "src/debug/export.hpp"
 #include "src/debug/introspect.hpp"
 #include "src/debug/metrics.hpp"
+#include "src/debug/profiler.hpp"
 #include "src/debug/replay.hpp"
 #include "src/debug/trace.hpp"
 #include "src/io/io.hpp"
@@ -85,6 +86,9 @@ void EnsureInit() {
   // FSUP_RECORD / FSUP_REPLAY / FSUP_EXPLORE_*: armed last so a recording starts with the
   // runtime fully up and a replay finds the same initialized state the recording saw.
   debug::replay::InitFromEnv();
+  // FSUP_PROFILE / FSUP_PROFILE_FILE: after the replay mode is known, because the profiler's
+  // sampling source depends on it (ITIMER_PROF live, tick piggybacking under record/replay).
+  debug::profiler::InitFromEnv();
   log::Write("runtime initialized");
 }
 
@@ -96,6 +100,10 @@ void ReinitForTesting() {
   }
   FSUP_CHECK_MSG(k.in_kernel == 0, "reinit inside the kernel");
   FSUP_CHECK_MSG(k.current == k.main_tcb, "reinit off the main thread");
+
+  // An active profiling session holds a collector thread and possibly ITIMER_PROF + a shm
+  // mapping; stop it (joining the collector) before the only-main-thread check below.
+  debug::profiler::ShutdownForReinit();
 
   Enter();
   ReapZombies();
@@ -132,6 +140,8 @@ void MakeReady(Tcb* t, bool front) {
     FSUP_ASSERT(k.sigwait_blocked > 0);
     --k.sigwait_blocked;
   }
+  // Off-CPU profiling: close the wait interval opened by Suspend, before any state mutation.
+  debug::profiler::OnUnblock(t);
   // t may be the current thread: a blocked thread with no runnable peer idles on its own
   // stack inside the dispatcher, and its own timer/IO wakeup re-readies it.
   debug::metrics::OnStateChange(t, ThreadState::kReady);
@@ -156,6 +166,8 @@ void Suspend(BlockReason reason) {
   debug::metrics::OnStateChange(self, ThreadState::kBlocked);
   self->state = ThreadState::kBlocked;
   self->block_reason = reason;
+  // Off-CPU profiling: capture the blocking call stack + wait object while both are live.
+  debug::profiler::OnBlock(self);
   if (reason == BlockReason::kSigwait) {
     ++k.sigwait_blocked;  // paired with the decrement in MakeReady
   }

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "src/debug/trace.hpp"
 #include "src/hostos/unix_if.hpp"
 #include "src/util/assert.hpp"
 
@@ -62,6 +63,7 @@ StackPool::StackPool(size_t precache) : precache_target_(precache) {
       break;
     }
     ++stack_maps_;
+    ++class_stats_[ClassIndex(mapped)].misses;
     char* commit_lo = hostos::StackLazy()
                           ? static_cast<char*>(base) + mapped - hostos::StackInitialCommit()
                           : static_cast<char*>(base);
@@ -95,6 +97,7 @@ void StackPool::PushFree(void* usable_base, size_t mapped, char* commit_lo) {
   free_heads_[cls] = fs;
   ++free_count_;
   free_bytes_ += mapped;
+  NoteMapped();
 }
 
 void* StackPool::TakePooledStack(int cls, size_t* size_out, char** commit_lo_out) {
@@ -128,6 +131,7 @@ void StackPool::EvictOverBudget() {
     char* commit_lo = nullptr;
     void* base = TakePooledStack(cls, &mapped, &commit_lo);
     --stack_reuses_;  // eviction is not a reuse
+    ++class_stats_[cls].evictions;
     hostos::UnmapStack(base, mapped);
   }
 }
@@ -144,6 +148,8 @@ void StackPool::RegisterLive(Tcb* t) {
   live_[static_cast<const char*>(t->stack_base)] = LiveStack{t->stack_size, t};
   std::atomic_signal_fence(std::memory_order_seq_cst);
   registry_busy_.store(0, std::memory_order_relaxed);
+  live_bytes_ += t->stack_size;
+  NoteMapped();
 }
 
 void StackPool::UnregisterLive(Tcb* t) {
@@ -152,6 +158,7 @@ void StackPool::UnregisterLive(Tcb* t) {
   live_.erase(static_cast<const char*>(t->stack_base));
   std::atomic_signal_fence(std::memory_order_seq_cst);
   registry_busy_.store(0, std::memory_order_relaxed);
+  live_bytes_ -= t->stack_size;
 }
 
 bool StackPool::AttachStack(Tcb* t, size_t stack_size) {
@@ -164,10 +171,15 @@ bool StackPool::AttachStack(Tcb* t, size_t stack_size) {
   size_t mapped = 0;
   char* commit_lo = nullptr;
   stack = TakePooledStack(cls, &mapped, &commit_lo);
-  if (stack == nullptr) {
+  if (stack != nullptr) {
+    ++class_stats_[cls].hits;
+  } else {
     stack = hostos::MapStack(usable, &mapped);
     if (stack != nullptr) {
       ++stack_maps_;
+      if (cls >= 0) {
+        ++class_stats_[cls].misses;
+      }
       commit_lo = hostos::StackLazy()
                       ? static_cast<char*>(stack) + mapped - hostos::StackInitialCommit()
                       : static_cast<char*>(stack);
@@ -176,6 +188,9 @@ bool StackPool::AttachStack(Tcb* t, size_t stack_size) {
       // failing: a recycled stack freed since the first probe (zombie reaping runs between
       // the two) can still satisfy a class-size request.
       stack = TakePooledStack(cls, &mapped, &commit_lo);
+      if (stack != nullptr) {
+        ++class_stats_[cls].hits;
+      }
     }
     if (stack == nullptr) {
       ++alloc_failures_;
@@ -243,7 +258,13 @@ bool StackPool::CommitFaultOnThread(const void* addr, Tcb* t) {
   if (!hostos::CommitStackRange(base, t->stack_size, addr)) {
     return false;
   }
-  t->stack_commit_lo = base;  // the whole reservation is RW now
+  // Committed bytes = the span below the old watermark (the whole reservation is RW now).
+  // Logged from inside the SIGSEGV handler: the trace ring and the TcbMetrics counter are
+  // both async-signal-safe, so lazy stack growth shows up in Perfetto exports.
+  const auto committed = static_cast<uint32_t>(t->stack_commit_lo - base);
+  t->stack_commit_lo = base;
+  ++t->metrics.stack_commits;
+  debug::trace::Log(debug::trace::Event::kStackCommit, t->id, committed);
   return true;
 }
 

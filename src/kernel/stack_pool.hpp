@@ -87,10 +87,24 @@ class StackPool {
   uint64_t lazy_commits() const { return lazy_commits_; }
   size_t live_registered() const { return live_.size(); }
 
+  // Per-size-class traffic: free-list reuses (hits), fresh maps (misses), budget evictions.
+  struct ClassStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+  ClassStats class_stats(int cls) const { return class_stats_[cls]; }
+
+  // Reserved bytes currently mapped (live stacks + free lists) and the high-water mark of
+  // that sum over the pool's lifetime.
+  size_t mapped_bytes() const { return live_bytes_ + free_bytes_; }
+  size_t mapped_hw_bytes() const { return mapped_hw_bytes_; }
+
   // Size-class geometry, exposed for tests: pooled iff the page-rounded usable size is an
   // exact power of two within [kMinStackSize, kMaxPooledStackSize]; anything else bypasses
   // the free lists and is mapped/unmapped directly.
   static constexpr size_t kMaxPooledStackSize = 8u << 20;
+  static constexpr int kNumClasses = 10;  // kMinStackSize .. kMaxPooledStackSize, pow2 steps
   static int ClassIndex(size_t usable_size);
 
  private:
@@ -109,8 +123,6 @@ class StackPool {
     Tcb* owner;
   };
 
-  static constexpr int kNumClasses = 10;  // kMinStackSize .. kMaxPooledStackSize, pow2 steps
-
   void* TakePooledStack(int cls, size_t* size_out, char** commit_lo_out);
   void PushFree(void* usable_base, size_t mapped, char* commit_lo);
   void EvictOverBudget();
@@ -127,6 +139,17 @@ class StackPool {
   uint64_t stack_maps_ = 0;
   uint64_t alloc_failures_ = 0;  // AttachStack exhausted both mmap and the freelist
   uint64_t lazy_commits_ = 0;    // demand-commit faults resolved by the SIGSEGV handler
+  ClassStats class_stats_[kNumClasses] = {};
+  size_t live_bytes_ = 0;        // mapped (reserved) bytes across registered live stacks
+  size_t mapped_hw_bytes_ = 0;   // high-water of live_bytes_ + free_bytes_
+
+  // Stamps the mapped-bytes high-water after live_bytes_ or free_bytes_ grew.
+  void NoteMapped() {
+    size_t mapped = live_bytes_ + free_bytes_;
+    if (mapped > mapped_hw_bytes_) {
+      mapped_hw_bytes_ = mapped;
+    }
+  }
 
   // Live stacks ordered by usable base. Mutated only inside the kernel monitor; the busy flag
   // (with signal fences) lets the handler detect the impossible-in-theory mid-mutation fault

@@ -65,6 +65,7 @@ struct TcbMetrics {
   uint64_t preempted = 0;      // context switches away forced by preemption / the slice
   uint64_t fake_calls = 0;     // fake-call frames pushed for this thread
   uint64_t mutex_blocks = 0;   // suspensions on a mutex
+  uint64_t stack_commits = 0;  // SIGSEGV demand-commit faults grown on this thread's stack
   int64_t mutex_wait_ns = 0;   // total contended-acquisition wait
   int64_t running_ns = 0;      // time-in-state accumulators...
   int64_t ready_ns = 0;
@@ -75,6 +76,21 @@ struct TcbMetrics {
   // thread; a hook that finds a stale epoch zeroes this struct first (O(1) enable at any
   // thread count).
   uint32_t epoch = 0;
+};
+
+// Per-thread off-CPU profiler capture (debug/profiler.hpp). When profiling is on, Suspend
+// snapshots the blocking call stack here; MakeReady turns it into one weighted off-CPU sample
+// (weight = blocked nanoseconds). `session` stamps which profiling session took the capture so
+// a stop/start cycle can't attribute a stale pre-stop capture to the new session. Always
+// present so the TCB layout is independent of profiler state; idle cost is zero stores.
+struct TcbProfile {
+  static constexpr int kMaxDepth = 8;
+  int64_t block_since_ns = 0;
+  uint32_t session = 0;
+  uint32_t block_tag = 0;    // sync-object tag (mutex#/cond#) or 0
+  uint8_t block_reason = 0;  // BlockReason raw value
+  uint8_t depth = 0;         // 0 = no capture open
+  uintptr_t pcs[kMaxDepth] = {};
 };
 
 struct Tcb {
@@ -189,6 +205,7 @@ struct Tcb {
   uint64_t switches_in = 0;        // times this thread was dispatched
   uint64_t signals_taken = 0;      // user handlers run on this thread
   TcbMetrics metrics;              // gated accumulators (debug/metrics.hpp)
+  TcbProfile profile;              // off-CPU capture buffer (debug/profiler.hpp)
 
   bool terminated() const { return state == ThreadState::kTerminated; }
 };

@@ -14,6 +14,7 @@
 // time slicing.
 
 #include "src/debug/metrics.hpp"
+#include "src/debug/profiler.hpp"
 #include "src/debug/replay.hpp"
 #include "src/debug/trace.hpp"
 #include "src/hostos/unix_if.hpp"
@@ -114,6 +115,10 @@ void TickImpl(bool forced, uint32_t forced_expired, bool forced_slice) {
   k.itimer_deadline_ns = -1;  // the programmed shot has fired (or we are past it)
   const int64_t now = NowNs();
   debug::metrics::OnTimerTick();
+  // Deterministic-mode profiler sample: the tick is a recorded/replayed decision, so hanging
+  // the sample off it (instead of an unsynchronized ITIMER_PROF) gives record and replay
+  // bit-identical sample sequences. Covers both the live SIGALRM path and replayed ticks.
+  debug::profiler::OnTick();
   // Reserve the decision slot before any delivery below logs trace records, so the inner
   // records carry the same decision stamps in record and replay. Forced ticks pass the
   // no-slot sentinel: their decision was already consumed from the log.

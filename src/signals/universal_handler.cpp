@@ -24,6 +24,7 @@
 #include "src/arch/ras.hpp"
 #include "src/debug/introspect.hpp"
 #include "src/debug/metrics.hpp"
+#include "src/debug/profiler.hpp"
 #include "src/debug/trace.hpp"
 #include "src/hostos/unix_if.hpp"
 #include "src/kernel/kernel.hpp"
@@ -63,6 +64,16 @@ void UniversalHandler(int signo, siginfo_t* info, void* ucv) {
 
   KernelState& k = kernel::ks();
   if (!k.initialized) {
+    return;
+  }
+
+  // Live on-CPU sampling: when the profiler armed ITIMER_PROF, SIGPROF is a sample, not a
+  // signal to deliver. Handled entirely here — in-kernel or not — because the sampler never
+  // enters the kernel, never touches deferral state, and must observe kernel-time samples
+  // too (attributed to the interrupted thread). When sampling is off, SIGPROF falls through
+  // to the ordinary delivery model (a user can pt_sigwait it, as before).
+  if (signo == SIGPROF && debug::profiler::g_signal_sampling) {
+    debug::profiler::OnSigprof(ucv);
     return;
   }
 
