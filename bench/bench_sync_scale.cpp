@@ -1,6 +1,7 @@
-// Sync-layer scaling: O(1) priority wait queues and broadcast-requeue (ISSUE 5).
+// Sync-layer scaling: O(1) priority wait queues and broadcast-requeue (ISSUE 5), plus the
+// uncontended fast path (ISSUE 9).
 //
-// Three sections, each swept over waiter/queue-depth counts:
+// Four sections, the first three swept over waiter/queue-depth counts:
 //
 //  1. Broadcast drain: N waiters on one condition variable, one broadcast, join the drain.
 //     The requeue discipline wakes one thread and splices the rest onto the mutex queue, so
@@ -17,6 +18,11 @@
 //     higher-priority lockers onto m[0] drives BoostChain through all C links; each link
 //     repositions a boosted owner inside a W-deep wait queue — O(1) per link now,
 //     O(W) per link with the sorted list.
+//  4. Uncontended lock/unlock: one thread, one free mutex, pt_mutex_lock + pt_mutex_unlock
+//     per iteration under each fast-path mode (ras / cas / off) against a bare-atomic
+//     baseline (one xchgb acquire + one release store — the cheapest possible lock cycle
+//     with no validation, no owner record, no API). Acceptance (ISSUE 9): the ras pair
+//     costs <= ~2x the bare pair.
 //
 // Writes BENCH_sync.json (override with FSUP_SYNC_JSON). FSUP_SYNC_SMOKE=1 shrinks every
 // dimension for the ctest smoke run.
@@ -26,8 +32,10 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/arch/ras.hpp"
 #include "src/core/attr.hpp"
 #include "src/core/pthread.hpp"
+#include "src/sync/fastpath.hpp"
 #include "src/util/dual_loop_timer.hpp"
 
 namespace fsup {
@@ -344,11 +352,68 @@ BoostResult RunBoostChain(int chain_len, int fillers, int triggers) {
 }
 
 // ---------------------------------------------------------------------------------------
+// Section 4: uncontended lock/unlock vs a bare atomic pair (ISSUE 9).
+// ---------------------------------------------------------------------------------------
+
+struct UncontendedRow {
+  double bare_pair_ns = 0;  // xchgb acquire + release store, nothing else
+  double ras_pair_ns = 0;   // pt_mutex_lock/unlock, restartable-sequence fast path
+  double cas_pair_ns = 0;   // pt_mutex_lock via cmpxchg, unlock still the RAS sequence
+  double off_pair_ns = 0;   // kill switch: the full kernel-monitor path
+  double ratio = 0;         // ras_pair / bare_pair — acceptance <= ~2
+  bool valid = false;
+};
+
+volatile uint8_t g_bare_lock = 0;
+
+double MeasureBarePair(int64_t iters) {
+  DualLoopTimer t(iters, 5);
+  return t.MeasureNs([] {
+    fsup_xchg_lock(&g_bare_lock);
+    g_bare_lock = 0;
+  });
+}
+
+double MeasurePtPair(pt_mutex_t* m, int64_t iters) {
+  DualLoopTimer t(iters, 5);
+  return t.MeasureNs([&] {
+    pt_mutex_lock(m);
+    pt_mutex_unlock(m);
+  });
+}
+
+UncontendedRow RunUncontended(bool smoke) {
+  UncontendedRow row;
+  pt_reinit();
+  pt_mutex_t m;
+  if (pt_mutex_init(&m) != 0) {
+    return row;
+  }
+  const int64_t iters = smoke ? 200'000 : 2'000'000;
+  // The sweep overrides whatever FSUP_FASTPATH asked for — the point is to compare the
+  // modes — and restores the requested mode afterwards.
+  const sync::fastpath::Mode saved = sync::fastpath::Requested();
+  row.bare_pair_ns = MeasureBarePair(iters);
+  sync::fastpath::SetRequested(sync::fastpath::Mode::kRas);
+  row.ras_pair_ns = MeasurePtPair(&m, iters);
+  sync::fastpath::SetRequested(sync::fastpath::Mode::kCas);
+  row.cas_pair_ns = MeasurePtPair(&m, iters);
+  sync::fastpath::SetRequested(sync::fastpath::Mode::kOff);
+  row.off_pair_ns = MeasurePtPair(&m, iters);
+  sync::fastpath::SetRequested(saved);
+  row.ratio = row.bare_pair_ns > 0 ? row.ras_pair_ns / row.bare_pair_ns : 0;
+  row.valid = true;
+  pt_mutex_destroy(&m);
+  return row;
+}
+
+// ---------------------------------------------------------------------------------------
 // Driver.
 // ---------------------------------------------------------------------------------------
 
 void WriteJson(const char* path, const BroadcastRow* bc, size_t nbc, const ContendedRow* ct,
-               size_t nct, const BoostResult& boost, double sw_ratio, double tp_ratio) {
+               size_t nct, const BoostResult& boost, const UncontendedRow& un,
+               double sw_ratio, double tp_ratio) {
   FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_sync: cannot write %s\n", path);
@@ -393,6 +458,15 @@ void WriteJson(const char* path, const BroadcastRow* bc, size_t nbc, const Conte
                  "\"link_boosts\":%d,\"total_us\":%.2f,\"ns_per_link\":%.1f}",
                  boost.chain, boost.fillers_per_mutex, boost.boosts, boost.link_boosts,
                  boost.total_us, boost.ns_per_link);
+  } else {
+    std::fputs("null", f);
+  }
+  std::fputs(",\"uncontended\":", f);
+  if (un.valid) {
+    std::fprintf(f,
+                 "{\"bare_pair_ns\":%.3f,\"ras_pair_ns\":%.3f,\"cas_pair_ns\":%.3f,"
+                 "\"off_pair_ns\":%.3f,\"fastpath_vs_bare_ratio\":%.3f}",
+                 un.bare_pair_ns, un.ras_pair_ns, un.cas_pair_ns, un.off_pair_ns, un.ratio);
   } else {
     std::fputs("null", f);
   }
@@ -448,6 +522,13 @@ int main() {
   std::printf("  %d full-chain boosts (%d link repositions): %.2f us total, %.1f ns/link\n",
               boost.boosts, boost.link_boosts, boost.total_us, boost.ns_per_link);
 
+  std::printf("\nUncontended lock/unlock — fast-path modes vs a bare atomic pair [ns/pair]\n");
+  const UncontendedRow un = RunUncontended(smoke);
+  std::printf("  %-44s %8.2f\n", "bare xchgb + release store (baseline)", un.bare_pair_ns);
+  std::printf("  %-44s %8.2f\n", "pt pair, FSUP_FASTPATH=ras (default)", un.ras_pair_ns);
+  std::printf("  %-44s %8.2f\n", "pt pair, FSUP_FASTPATH=cas", un.cas_pair_ns);
+  std::printf("  %-44s %8.2f\n", "pt pair, FSUP_FASTPATH=off (kernel path)", un.off_pair_ns);
+
   // Flatness acceptance (ISSUE 5): per-waiter broadcast switches and contended throughput
   // at the largest N within range of the smallest.
   const BroadcastRow& bc_lo = bc[0];
@@ -465,10 +546,13 @@ int main() {
   std::printf("  contended ops/sec ratio N=%d vs N=%d:        %.2f (acceptance: >= 0.50)"
               " -> %s\n",
               ct_hi.n, ct_lo.n, tp_ratio, tp_ratio >= 0.5 ? "PASS" : "FAIL");
+  std::printf("  uncontended pair vs bare atomic pair:         %.2f (acceptance: <= 2.00)"
+              " -> %s\n",
+              un.ratio, un.valid && un.ratio > 0 && un.ratio <= 2.0 ? "PASS" : "FAIL");
 
   const char* jp = std::getenv("FSUP_SYNC_JSON");
   WriteJson(jp != nullptr && jp[0] != '\0' ? jp : "BENCH_sync.json", bc, ncounts, ct,
-            ncounts, boost, sw_ratio, tp_ratio);
+            ncounts, boost, un, sw_ratio, tp_ratio);
   pt_reinit();
   return 0;
 }

@@ -53,6 +53,10 @@ void RegisterBuiltins() {
            reinterpret_cast<uintptr_t>(fsup_ras_lock_end));
   Register(reinterpret_cast<uintptr_t>(fsup_ras_unlock_begin),
            reinterpret_cast<uintptr_t>(fsup_ras_unlock_end));
+  Register(reinterpret_cast<uintptr_t>(fsup_ras_owner_lock_begin),
+           reinterpret_cast<uintptr_t>(fsup_ras_owner_lock_end));
+  Register(reinterpret_cast<uintptr_t>(fsup_ras_owner_unlock_begin),
+           reinterpret_cast<uintptr_t>(fsup_ras_owner_unlock_end));
 }
 
 uint64_t RestartCount() { return g_restarts; }

@@ -63,6 +63,18 @@ int fsup_ras_lock(volatile uint8_t* lock, void* owner, void* volatile* owner_slo
 // left stale — it is only meaningful while the lock word is set.
 int fsup_ras_unlock(volatile uint8_t* lock, volatile uint8_t* has_waiters);
 
+// Production mutex fast path, over the unified owner word (nullptr = unlocked, else the
+// owning TCB). The single committing store both acquires and publishes the owner, so the
+// kernel can never see a locked mutex without knowing who holds it. Returns nullptr on
+// acquisition, else the current owner.
+void* fsup_ras_owner_lock(void* volatile* word, void* self);
+
+// Fast release of the owner word: clears it only when *has_waiters is 0 (returns 0); returns
+// 1 (word untouched) when a waiter needs the kernel handoff. Shared by the RAS and cmpxchg
+// acquire flavors — the waiter check + clearing store must be restart-atomic against
+// handler-driven enqueues either way.
+int fsup_ras_owner_unlock(void* volatile* word, volatile uint8_t* has_waiters);
+
 // Hardware test-and-set (x86 xchg, the ldstub analogue). Returns previous lock value.
 int fsup_xchg_lock(volatile uint8_t* lock);
 
@@ -75,6 +87,10 @@ extern const char fsup_ras_lock_begin[];
 extern const char fsup_ras_lock_end[];
 extern const char fsup_ras_unlock_begin[];
 extern const char fsup_ras_unlock_end[];
+extern const char fsup_ras_owner_lock_begin[];
+extern const char fsup_ras_owner_lock_end[];
+extern const char fsup_ras_owner_unlock_begin[];
+extern const char fsup_ras_owner_unlock_end[];
 
 }  // extern "C"
 

@@ -36,4 +36,16 @@ MutexAttr MakeCeilingMutexAttr(int ceiling) {
   return a;
 }
 
+MutexAttr MakeErrorCheckMutexAttr() {
+  MutexAttr a;
+  a.type = MutexType::kErrorCheck;
+  return a;
+}
+
+MutexAttr MakeRecursiveMutexAttr() {
+  MutexAttr a;
+  a.type = MutexType::kRecursive;
+  return a;
+}
+
 }  // namespace fsup

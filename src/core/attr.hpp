@@ -21,6 +21,10 @@ MutexAttr MakeInheritMutexAttr();
 // Mutex attributes for the priority-ceiling (SRP) protocol with the given ceiling.
 MutexAttr MakeCeilingMutexAttr(int ceiling);
 
+// Mutex attributes for the error-check / recursive types (always take the kernel path).
+MutexAttr MakeErrorCheckMutexAttr();
+MutexAttr MakeRecursiveMutexAttr();
+
 }  // namespace fsup
 
 #endif  // FSUP_SRC_CORE_ATTR_HPP_

@@ -35,6 +35,12 @@ void DumpThreads(uint32_t max_threads) {
       if (t->block_reason == BlockReason::kMutex && t->waiting_on_mutex != nullptr) {
         log::RawWriteCstr(" mutex#");
         log::RawWriteInt(t->waiting_on_mutex->tag);
+        // The owner word is authoritative even when the holder acquired on the fast path and
+        // the kernel never saw the lock: print the edge the wait-for graph would follow.
+        if (Tcb* owner = t->waiting_on_mutex->holder(); owner != nullptr) {
+          log::RawWriteCstr(" owner=#");
+          log::RawWriteInt(owner->id);
+        }
         if (t->cond_requeued) {
           log::RawWriteCstr(" (requeued)");  // parked here by a broadcast, still in CondWait
         }

@@ -10,6 +10,7 @@
 #include "src/io/io.hpp"
 #include "src/kernel/kernel.hpp"
 #include "src/kernel/stack_pool.hpp"
+#include "src/sync/fastpath.hpp"
 #include "src/util/dual_loop_timer.hpp"
 
 static_assert(fsup::debug::metrics::MetricsSnapshot::kPoolClasses == fsup::StackPool::kNumClasses,
@@ -121,6 +122,9 @@ void Enable(bool on) {
     ++g_epoch;
   }
   g_enabled = on;
+  // Metrics bracket hold times on the kernel path: demote (or restore) the kernel-bypassing
+  // sync fast paths so every acquisition is observed.
+  sync::fastpath::Recompute();
   kernel::Exit();
 }
 

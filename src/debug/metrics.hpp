@@ -198,8 +198,9 @@ inline bool Enabled() { return g_enabled; }
 
 // Enables/disables collection. Enabling resets the global accumulators and bumps the
 // per-thread epoch — O(1) regardless of how many threads are live; each TCB's accumulators
-// are lazily reset the first time a hook touches it afterwards. Also forces mutexes off the
-// RAS fast path (see FastPathAllowed) so every acquisition is observed. Enters the kernel.
+// are lazily reset the first time a hook touches it afterwards. Also demotes the sync fast
+// paths to the kernel path (sync::fastpath::Recompute) so every acquisition is observed.
+// Enters the kernel.
 void Enable(bool on);
 
 // -- slow paths (called only when enabled; defined in metrics.cpp) ----------------------

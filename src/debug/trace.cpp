@@ -4,6 +4,7 @@
 
 #include "src/debug/replay.hpp"
 #include "src/kernel/kernel.hpp"
+#include "src/sync/fastpath.hpp"
 #include "src/util/dual_loop_timer.hpp"
 
 namespace fsup::debug::trace {
@@ -30,7 +31,12 @@ size_t CopyWindow(Record* out, uint64_t end, size_t n) {
 
 }  // namespace
 
-void Enable(bool on) { g_enabled = on; }
+void Enable(bool on) {
+  g_enabled = on;
+  // Tracing wants every sync event logged from inside the monitor: demote (or restore) the
+  // kernel-bypassing sync fast paths.
+  sync::fastpath::Recompute();
+}
 
 bool Enabled() { return g_enabled; }
 

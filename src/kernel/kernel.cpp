@@ -18,6 +18,7 @@
 #include "src/io/io.hpp"
 #include "src/sched/perverted.hpp"
 #include "src/signals/sigmodel.hpp"
+#include "src/sync/fastpath.hpp"
 #include "src/util/assert.hpp"
 #include "src/util/log.hpp"
 
@@ -32,12 +33,7 @@ alignas(Tcb) unsigned char g_main_tcb_storage[sizeof(Tcb)];
 
 }  // namespace
 
-KernelState& ks() {
-  static KernelState state;
-  return state;
-}
-
-void EnsureInit() {
+void InitRuntime() {
   KernelState& k = ks();
   if (k.initialized) {
     return;
@@ -83,6 +79,10 @@ void EnsureInit() {
       v != nullptr && v[0] != '\0' && v[0] != '0') {
     debug::metrics::Enable(true);
   }
+  // FSUP_FASTPATH=0|off|ras|cas: after the trace/metrics env hooks, so the active mode is
+  // computed against their final state (the Enable calls above recompute too; this one also
+  // picks up the requested mode itself).
+  sync::fastpath::InitFromEnv();
   // FSUP_RECORD / FSUP_REPLAY / FSUP_EXPLORE_*: armed last so a recording starts with the
   // runtime fully up and a replay finds the same initialized state the recording saw.
   debug::replay::InitFromEnv();

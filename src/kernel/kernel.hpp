@@ -106,11 +106,24 @@ struct KernelState {
 
 namespace kernel {
 
-KernelState& ks();
+// The one kernel instance. An inline function-local static (C++17: one instance across all
+// translation units) so the hot paths — the sync fast path calls ks() twice per operation —
+// inline the access down to a predicted guard-byte test instead of paying a call.
+inline KernelState& ks() {
+  static KernelState state;
+  return state;
+}
 
-// Initializes the runtime if needed: main-thread TCB, pools, signal handlers. Every public API
-// entry point calls this.
-void EnsureInit();
+// The cold half of EnsureInit: builds the main-thread TCB, pools, signal handlers. Runs once.
+void InitRuntime();
+
+// Initializes the runtime if needed. Every public API entry point calls this; inline so the
+// already-initialized case is one load and one predicted branch.
+inline void EnsureInit() {
+  if (!ks().initialized) {
+    InitRuntime();
+  }
+}
 
 // Tears the runtime down and re-initializes. Requires that only the main thread is alive.
 // Exists so a large test suite can run in one process; see DESIGN.md.

@@ -76,6 +76,16 @@ enum class MutexProtocol : uint8_t {
   kProtect,  // priority ceiling via SRP stack
 };
 
+// Mutex types. Only kNormal is eligible for the kernel-bypassing fast path: the error-check
+// and recursive variants need per-acquisition bookkeeping (the paper's complaint that "a
+// simple mutex lock ... now requires an additional check of the attributes"), so they always
+// enter the monitor.
+enum class MutexType : uint8_t {
+  kNormal = 0,  // relock by the owner reports EDEADLK (checked on the fast path too)
+  kErrorCheck,  // same error semantics, always bookkept under the kernel monitor
+  kRecursive,   // owner may relock; a count balances the releases
+};
+
 // Cancellation interruptibility (paper Table 1). Draft-6 terminology.
 enum class Interruptibility : uint8_t {
   kDisabled = 0,

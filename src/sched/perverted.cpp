@@ -2,6 +2,7 @@
 
 #include "src/debug/replay.hpp"
 #include "src/kernel/kernel.hpp"
+#include "src/sync/fastpath.hpp"
 #include "src/util/assert.hpp"
 
 namespace fsup::sched {
@@ -92,6 +93,9 @@ void SetPolicy(PervertedPolicy policy, uint64_t seed) {
   k.perverted = policy;
   k.rng.Seed(seed);
   g_random_pick_pending = false;
+  // Perverted mutex-switch hooks every successful lock: demote (or restore) the sync fast
+  // paths that would otherwise bypass the hook.
+  sync::fastpath::Recompute();
 }
 
 PervertedPolicy Policy() { return kernel::ks().perverted; }

@@ -61,7 +61,7 @@ void BoostChain(Tcb* holder, int prio) {
         holder->block_reason == BlockReason::kMutex && holder->waiting_on_mutex != nullptr &&
         holder->waiting_on_mutex->proto == MutexProtocol::kInherit) {
       Mutex* m = holder->waiting_on_mutex;
-      holder = m->lock_word != 0 ? m->owner : nullptr;
+      holder = m->owner;  // the owner word IS the lock state (nullptr = unlocked)
     } else {
       break;
     }

@@ -130,7 +130,7 @@ void DetachFromWaitQueue(Tcb* t) {
       break;
     case BlockReason::kCond:
       FSUP_ASSERT(t->waiting_on_cond != nullptr);
-      t->waiting_on_cond->waiters.Erase(t);
+      sync::RemoveCondWaiter(t->waiting_on_cond, t);  // maintains the waiter-presence word
       break;
     case BlockReason::kJoin:
       if (t->join_target != nullptr) {

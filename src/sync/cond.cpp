@@ -8,6 +8,7 @@
 #include "src/kernel/kernel.hpp"
 #include "src/sched/policy.hpp"
 #include "src/signals/sigmodel.hpp"
+#include "src/sync/fastpath.hpp"
 #include "src/sync/tag.hpp"
 #include "src/util/assert.hpp"
 
@@ -33,7 +34,7 @@ void MarkRequeued(Cond* c, Tcb* w, Mutex* m) {
 // After waiters landed on an inheritance mutex's queue without passing through LockInKernel,
 // the owner must still inherit the top waiter priority (transitively).
 void BoostAfterRequeue(Mutex* m) {
-  if (m->proto == MutexProtocol::kInherit && m->lock_word != 0 && m->owner != nullptr &&
+  if (m->proto == MutexProtocol::kInherit && m->owner != nullptr &&
       m->owner->prio < m->waiters.TopPrio()) {
     sched::BoostChain(m->owner, m->waiters.TopPrio());
   }
@@ -47,7 +48,7 @@ void BoostAfterRequeue(Mutex* m) {
 // woken waiter contends for the same mutex — it is awake and will lock and later unlock it,
 // draining the queue through the normal handoff path with its priority claim intact.
 void HandoffIfUnlocked(Mutex* m) {
-  if (m->lock_word != 0) {
+  if (m->owner != nullptr) {
     return;
   }
   Tcb* next = m->waiters.PopHighest();
@@ -58,7 +59,6 @@ void HandoffIfUnlocked(Mutex* m) {
   if (m->waiters.empty()) {
     m->has_waiters = 0;
   }
-  m->lock_word = 1;
   m->owner = next;
   kernel::MakeReady(next);
 }
@@ -114,6 +114,7 @@ int CondWait(Cond* c, Mutex* m, int64_t deadline_ns) {
   // Atomic with the suspension: unlock (full protocol semantics, possible handoff) and queue.
   UnlockInKernel(m, self);
   c->waiters.Push(self);
+  c->has_waiters = 1;  // published before the mutex can be re-acquired by a signaller
   self->waiting_on_cond = c;
   self->cond_mutex = m;
   self->cond_signalled = false;
@@ -171,8 +172,19 @@ int CondSignal(Cond* c) {
   if (c == nullptr || c->magic != kCondMagic) {
     return EINVAL;
   }
+  // Signal with no waiters: nothing to wake, nothing to log — return without entering the
+  // kernel. Race-free whenever the caller follows the standard's predictable-scheduling rule
+  // of signalling with the associated mutex held (a would-be waiter then cannot be between
+  // "released the mutex" and "on the queue"); without the mutex, signal/wait ordering is
+  // unspecified anyway, so returning "nobody was waiting" remains a correct linearization.
+  if (fastpath::Enabled() && c->has_waiters == 0) {
+    return 0;
+  }
   kernel::Enter();
   Tcb* w = c->waiters.PopHighest();  // longest-waiting thread of the highest priority
+  if (c->waiters.empty()) {
+    c->has_waiters = 0;
+  }
   debug::trace::Log(debug::trace::Event::kCondSignal, w != nullptr ? w->id : 0, c->tag);
   if (w != nullptr) {
     ++c->signals_sent;
@@ -189,10 +201,17 @@ int CondBroadcast(Cond* c) {
   if (c == nullptr || c->magic != kCondMagic) {
     return EINVAL;
   }
+  // Same no-waiter bypass as CondSignal (see the comment there).
+  if (fastpath::Enabled() && c->has_waiters == 0) {
+    return 0;
+  }
   kernel::Enter();
 
   // Wake one: the highest-priority waiter contends for the mutex normally.
   Tcb* first = c->waiters.PopHighest();
+  if (c->waiters.empty()) {
+    c->has_waiters = 0;
+  }
   debug::trace::Log(debug::trace::Event::kCondSignal, first != nullptr ? first->id : 0,
                     c->tag);
   if (first == nullptr) {
@@ -240,6 +259,7 @@ int CondBroadcast(Cond* c) {
         }
       }
     }
+    c->has_waiters = 0;  // the requeue drained the condition queue completely
     debug::trace::Log(debug::trace::Event::kCondRequeue, moved, c->tag);
   }
 
@@ -248,5 +268,12 @@ int CondBroadcast(Cond* c) {
 }
 
 void RepositionCondWaiter(Cond* c, Tcb* t) { c->waiters.Reposition(t); }
+
+void RemoveCondWaiter(Cond* c, Tcb* t) {
+  c->waiters.Erase(t);
+  if (c->waiters.empty()) {
+    c->has_waiters = 0;
+  }
+}
 
 }  // namespace fsup::sync

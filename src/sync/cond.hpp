@@ -32,6 +32,16 @@ inline constexpr uint32_t kCondMagic = 0x636f6e64;  // "cond"
 struct Cond {
   uint32_t magic = 0;
   uint32_t tag = 0;
+
+  // Waiter-presence word, mirroring !waiters.empty(). Every path that mutates the waiter
+  // queue (wait, signal, broadcast/requeue, timeout/interruption detach) maintains it under
+  // the kernel monitor; pt_cond_signal/broadcast read it in user context and return without
+  // entering the kernel when it is 0. That read is race-free under the standard's own rule:
+  // when "predictable scheduling behavior is required", the signaller holds the mutex, so no
+  // thread can be between "released the mutex" and "on the queue" while the signaller runs
+  // (see DESIGN.md, "Uncontended fast path").
+  volatile uint8_t has_waiters = 0;
+
   PrioWaitQueue waiters;  // per-priority FIFO buckets; every operation O(1)
   uint64_t signals_sent = 0;
 };
@@ -54,6 +64,11 @@ int CondBroadcast(Cond* c);
 
 // Re-buckets t within c's waiter queue after t's priority changed. O(1). In kernel.
 void RepositionCondWaiter(Cond* c, Tcb* t);
+
+// Removes t from c's waiter queue, maintaining the has_waiters presence word (fake-call
+// interruption and timeout expiry detach waiters without going through signal/broadcast).
+// O(1). In kernel.
+void RemoveCondWaiter(Cond* c, Tcb* t);
 
 }  // namespace sync
 }  // namespace fsup

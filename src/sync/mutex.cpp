@@ -9,6 +9,7 @@
 #include "src/debug/trace.hpp"
 #include "src/kernel/kernel.hpp"
 #include "src/sched/policy.hpp"
+#include "src/sync/fastpath.hpp"
 #include "src/sync/tag.hpp"
 #include "src/util/assert.hpp"
 #include "src/util/dual_loop_timer.hpp"
@@ -16,13 +17,30 @@
 namespace fsup::sync {
 namespace {
 
-// True when the uncontended lock/unlock may bypass the kernel entirely. Protocol mutexes must
-// enter (they manipulate priorities); perverted mutex-switch needs the hook on every lock;
-// tracing wants every event; and metrics need the kernel path to bracket hold times.
-bool FastPathAllowed(const Mutex* m) {
-  return m->proto == MutexProtocol::kNone &&
-         kernel::ks().perverted == PervertedPolicy::kNone && !debug::trace::Enabled() &&
-         !debug::metrics::Enabled();
+// The effective mode for one operation on one mutex: kOff unless the global mode byte says
+// go AND the mutex is eligible. Protocol mutexes must enter the kernel (they manipulate
+// priorities), and so do the error-check/recursive types (per-acquisition bookkeeping) —
+// both folded into the per-mutex fast_ok byte at init. Observability demotions — tracing
+// wants every event, metrics need the kernel path to bracket hold times, perverted
+// mutex-switch hooks every lock — are folded into the global mode byte (see fastpath.hpp).
+// The whole gate is therefore two byte loads and two predicted branches, and each operation
+// reads the mode byte exactly once, threading it through to the acquire.
+inline fastpath::Mode FastPathMode(const Mutex* m) {
+  const auto mode = static_cast<fastpath::Mode>(fastpath::g_active);
+  return m->fast_ok != 0 ? mode : fastpath::Mode::kOff;
+}
+
+inline void* volatile* OwnerWord(Mutex* m) {
+  return reinterpret_cast<void* volatile*>(&m->owner);
+}
+
+// The selectable acquire instruction: the paper's restartable sequence, or the cmpxchg it
+// wishes every ISA provided (one interlocked instruction, no handler rewind needed).
+inline bool TryAcquireFast(fastpath::Mode mode, Mutex* m, Tcb* self) {
+  if (mode == fastpath::Mode::kCas) {
+    return fsup_cas_lock(OwnerWord(m), self) == nullptr;
+  }
+  return fsup_ras_owner_lock(OwnerWord(m), self) == nullptr;
 }
 
 void AddToOwnedList(Mutex* m, Tcb* t) {
@@ -91,6 +109,9 @@ int MutexInit(Mutex* m, const MutexAttr* attr) {
   new (m) Mutex();
   m->magic = kMutexMagic;
   m->proto = a.protocol;
+  m->type = a.type;
+  m->fast_ok =
+      a.protocol == MutexProtocol::kNone && a.type == MutexType::kNormal ? 1 : 0;
   m->ceiling = static_cast<int16_t>(a.ceiling);
   m->tag = NextSyncTag();
   return 0;
@@ -102,7 +123,7 @@ int MutexDestroy(Mutex* m) {
     return EINVAL;
   }
   kernel::Enter();
-  if (m->lock_word != 0 || !m->waiters.empty()) {
+  if (m->owner != nullptr || !m->waiters.empty()) {
     kernel::Exit();
     return EBUSY;
   }
@@ -138,6 +159,10 @@ bool WouldDeadlock(const Mutex* m, const Tcb* self) {
   // The monitor freezes the whole graph, so a plain walk is race-free. The hop budget
   // (#live threads) terminates the walk even on a cycle that does not pass through self —
   // that cycle is someone else's EDEADLK, already returned to them when it formed.
+  //
+  // `owner` is accurate even for mutexes acquired on the fast path (the acquiring store IS
+  // the lock word) and nullptr the moment a fast unlock releases one, so no stale edge can
+  // be followed here.
   uint32_t hops = kernel::ks().live_threads;
   const Tcb* owner = m->holder();
   while (owner != nullptr && hops-- > 0) {
@@ -159,13 +184,18 @@ bool WouldDeadlock(const Mutex* m, const Tcb* self) {
 
 int LockInKernel(Mutex* m, Tcb* self) {
   FSUP_ASSERT(kernel::InKernel());
-  if (m->holder() == self) {
+  if (m->owner == self) {
+    if (m->type == MutexType::kRecursive) {
+      ++m->recursion;
+      debug::trace::Log(debug::trace::Event::kMutexLock, self->id, m->tag);
+      return 0;
+    }
     return EDEADLK;
   }
   int64_t wait_start_ns = 0;  // opened on the first contended pass, closed at acquisition
-  while (m->lock_word != 0) {
+  while (m->owner != nullptr) {
     if (m->owner == self) {
-      // Direct handoff from an unlocker; the lock word never dropped.
+      // Direct handoff from an unlocker; the owner word never dropped to nullptr.
       if (wait_start_ns != 0) {
         debug::metrics::OnMutexWait(self, NowNs() - wait_start_ns);
       }
@@ -194,7 +224,6 @@ int LockInKernel(Mutex* m, Tcb* self) {
     self->waiting_on_mutex = nullptr;
     // Re-check: handoff made us owner, or a fake call woke us spuriously and we re-contend.
   }
-  m->lock_word = 1;
   m->owner = self;
   if (wait_start_ns != 0) {
     debug::metrics::OnMutexWait(self, NowNs() - wait_start_ns);
@@ -205,6 +234,13 @@ int LockInKernel(Mutex* m, Tcb* self) {
 void UnlockInKernel(Mutex* m, Tcb* self) {
   FSUP_ASSERT(kernel::InKernel());
   FSUP_ASSERT(m->holder() == self);
+  if (m->recursion > 0) {
+    // A recursive re-entry being balanced: the mutex stays held, so no protocol restore, no
+    // hold-interval close, no handoff.
+    --m->recursion;
+    debug::trace::Log(debug::trace::Event::kMutexUnlock, self->id, m->tag);
+    return;
+  }
   debug::trace::Log(debug::trace::Event::kMutexUnlock, self->id, m->tag);
   if (m->acquired_at_ns != 0) {
     debug::metrics::OnMutexHold(NowNs() - m->acquired_at_ns);
@@ -262,13 +298,14 @@ void UnlockInKernel(Mutex* m, Tcb* self) {
   if (next == nullptr) {
     m->has_waiters = 0;
     m->owner = nullptr;
-    m->lock_word = 0;
     return;
   }
   if (m->waiters.empty()) {
     m->has_waiters = 0;
   }
-  // Handoff: ownership passes directly; the waiter completes OnAcquired when it runs.
+  // Handoff: ownership passes directly (the owner word never drops to nullptr, so no barging
+  // window opens — not even for fast-path lockers); the waiter completes OnAcquired when it
+  // runs.
   m->owner = next;
   kernel::MakeReady(next);
 }
@@ -279,15 +316,14 @@ int MutexLock(Mutex* m) {
     return EINVAL;
   }
   Tcb* self = kernel::Current();
-  if (m->holder() == self) {
+  if (m->owner == self && m->type != MutexType::kRecursive) {
+    // Error detection without kernel entry: owner can only equal self by our own doing, and
+    // only we can clear it — the comparison is race-free in user context.
     return EDEADLK;
   }
-  if (FastPathAllowed(m)) {
-    if (fsup_ras_lock(&m->lock_word, self,
-                      reinterpret_cast<void* volatile*>(&m->owner)) == 0) {
-      return 0;
-    }
-    // Contended: fall into the kernel path.
+  const fastpath::Mode mode = FastPathMode(m);
+  if (mode != fastpath::Mode::kOff && TryAcquireFast(mode, m, self)) {
+    return 0;  // the committing store published us as owner; no kernel entry
   }
   kernel::Enter();
   const int rc = LockInKernel(m, self);
@@ -304,26 +340,29 @@ int MutexTrylock(Mutex* m) {
     return EINVAL;
   }
   Tcb* self = kernel::Current();
-  if (m->holder() == self) {
+  if (m->owner == self && m->type != MutexType::kRecursive) {
     return EDEADLK;
   }
-  if (FastPathAllowed(m)) {
-    return fsup_ras_lock(&m->lock_word, self,
-                         reinterpret_cast<void* volatile*>(&m->owner)) == 0
-               ? 0
-               : EBUSY;
+  const fastpath::Mode mode = FastPathMode(m);
+  if (mode != fastpath::Mode::kOff) {
+    // EBUSY is decided by the same atomic acquire the lock path uses — still no kernel entry.
+    return TryAcquireFast(mode, m, self) ? 0 : EBUSY;
   }
   kernel::Enter();
   int rc;
-  if (m->lock_word != 0) {
+  if (m->owner == self) {
+    FSUP_ASSERT(m->type == MutexType::kRecursive);
+    ++m->recursion;
+    debug::trace::Log(debug::trace::Event::kMutexLock, self->id, m->tag);
+    rc = 0;
+  } else if (m->owner != nullptr) {
     rc = EBUSY;
   } else {
-    m->lock_word = 1;
     m->owner = self;
     rc = OnAcquired(m, self);
-    if (rc == 0) {
-      sched::PervertedOnMutexLock();
-    }
+  }
+  if (rc == 0) {
+    sched::PervertedOnMutexLock();
   }
   kernel::Exit();
   return rc;
@@ -335,13 +374,14 @@ int MutexUnlock(Mutex* m) {
     return EINVAL;
   }
   Tcb* self = kernel::Current();
-  if (m->holder() != self) {
-    return EPERM;
+  if (m->owner != self) {
+    return EPERM;  // race-free in user context for the same reason as the EDEADLK check
   }
-  if (FastPathAllowed(m)) {
+  if (FastPathMode(m) != fastpath::Mode::kOff) {
     // Restartable sequence: releases only if no waiter is queued; a waiter enqueued by a
-    // preempting signal handler forces the restart down the kernel handoff path.
-    if (fsup_ras_unlock(&m->lock_word, &m->has_waiters) == 0) {
+    // preempting signal handler forces the restart down the kernel handoff path. Both
+    // acquire flavors release through this sequence (see ras.S).
+    if (fsup_ras_owner_unlock(OwnerWord(m), &m->has_waiters) == 0) {
       return 0;
     }
   }

@@ -1,15 +1,22 @@
 // Mutexes (paper, "Synchronization" and "Priority Inversion: Inheritance and Ceilings").
 //
-// The uncontended path is the paper's Figure 4: a lock word acquired inside a restartable
-// atomic sequence that also records the owner, with no kernel entry at all. The standard's
-// protocol attributes force a slower path: as the paper complains, "a simple mutex lock could
-// have been implemented with a test-and-set instruction. But it now requires an additional
-// check of the attributes" — our fast path performs exactly that check, and the protocol
-// variants (priority inheritance; priority ceiling emulated via the SRP stack) always enter
-// the kernel, which the Table 2 / Table 3 benches quantify.
+// The uncontended path is the paper's Figure 4: the lock is acquired inside a restartable
+// atomic sequence (or, in the FSUP_FASTPATH=cas mode, by the single compare-and-swap the
+// paper argues every ISA should provide) with no kernel entry at all. The entire lock state
+// is ONE word — `owner` (nullptr = unlocked, else the owning TCB) — so the committing store
+// both takes the lock and publishes the holder: the kernel monitor can never observe a locked
+// mutex whose owner it does not know, which is what makes the contended slow path safe
+// against fast-path acquisitions it never saw.
+//
+// The standard's attributes force a slower path: as the paper complains, "a simple mutex lock
+// could have been implemented with a test-and-set instruction. But it now requires an
+// additional check of the attributes" — our fast path performs exactly that check, and the
+// protocol variants (priority inheritance; priority ceiling emulated via the SRP stack) plus
+// the error-check/recursive types always enter the kernel, which the Table 2 / Table 3
+// benches quantify.
 //
 // Contended unlocks hand the mutex directly to the highest-priority waiter (the waiting thread
-// with the highest priority acquires the mutex — no barging window exists because the lock
+// with the highest priority acquires the mutex — no barging window exists because the owner
 // word stays set across the handoff).
 
 #ifndef FSUP_SRC_SYNC_MUTEX_HPP_
@@ -27,25 +34,35 @@ inline constexpr uint32_t kMutexMagic = 0x6d757478;  // "mutx"
 
 struct MutexAttr {
   MutexProtocol protocol = MutexProtocol::kNone;
+  MutexType type = MutexType::kNormal;
   int ceiling = kMaxPrio;  // PROTECT only: must be >= the priority of every locking thread
 };
 
 struct Mutex {
   uint32_t magic = 0;
-  volatile uint8_t lock_word = 0;    // target of the RAS / test-and-set
   volatile uint8_t has_waiters = 0;  // mirrors !waiters.empty(); read by the unlock RAS
   MutexProtocol proto = MutexProtocol::kNone;
+  MutexType type = MutexType::kNormal;
+  // Fast-path eligibility, precomputed at init (proto == kNone && type == kNormal — neither
+  // changes afterwards): the hot path tests one byte instead of re-deriving two enums.
+  uint8_t fast_ok = 1;
   int16_t ceiling = kMaxPrio;
   uint32_t tag = 0;  // trace identifier
 
-  // INVARIANT: `owner` is only meaningful while lock_word != 0. The fast-path unlock leaves it
-  // stale on purpose — clearing it inside the restartable sequence would create states that
-  // cannot be safely re-executed.
+  // THE lock word: nullptr = unlocked, else the owning thread. Fast-path acquires store it
+  // with a restartable sequence or cmpxchg; fast-path releases clear it inside a restartable
+  // sequence that first checks has_waiters. Always accurate — there is no separate lock bit
+  // to fall out of sync with, so the wait-for-graph walker and the introspection dump can
+  // trust it even for mutexes the kernel never saw locked.
   Tcb* volatile owner = nullptr;
 
-  bool locked() const { return lock_word != 0; }
-  Tcb* holder() const { return lock_word != 0 ? owner : nullptr; }
+  bool locked() const { return owner != nullptr; }
+  Tcb* holder() const { return owner; }
   PrioWaitQueue waiters;  // per-priority FIFO buckets; every operation O(1)
+
+  // Extra acquisitions by the owner of a kRecursive mutex (0 = held once). Only mutated under
+  // the kernel monitor — recursive mutexes never take the fast path.
+  uint32_t recursion = 0;
 
   // Membership in the owner's held-mutex list: the inheritance protocol's unlock performs a
   // linear search over these (paper Table 3, "Implementation: linear search of locked
@@ -97,7 +114,9 @@ int CompleteHandoff(Mutex* m, Tcb* self);
 
 // True if `self` blocking on `m` would close a cycle in the wait-for graph: follows the
 // owner → blocked-on-mutex → owner chain under the kernel monitor. Self-deadlock is the
-// one-hop case. In kernel; O(live threads).
+// one-hop case. The owner word is the source of truth, so edges through mutexes acquired on
+// the fast path (which the kernel never saw locked) are followed correctly. In kernel;
+// O(live threads).
 bool WouldDeadlock(const Mutex* m, const Tcb* self);
 
 }  // namespace sync

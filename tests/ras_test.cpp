@@ -108,7 +108,7 @@ TEST_F(RasTest, MutexFastPathSurvivesSignalStorm) {
   }
   EXPECT_GT(alarms, 3);  // the storm really happened
   EXPECT_EQ(nullptr, m.holder());
-  EXPECT_EQ(0, m.lock_word);
+  EXPECT_EQ(nullptr, m.owner);  // the owner word IS the lock state: cleared on release
   EXPECT_GT(counter, 0);
   pt_mutex_destroy(&m);
 }
